@@ -1,0 +1,78 @@
+"""Ablation — validating the collision model on real blocks.
+
+The analytic backbone of the framework is P(co-block) = 1 - (1 - s^k)^l
+for banded minhash (§5.1). This ablation samples labelled record pairs
+from the Cora corpus, bins them by true shingle Jaccard, and compares
+each bin's *empirical* co-blocking frequency under the real LSHBlocker
+against the model's prediction — the model must track reality within a
+few percentage points across the whole similarity range, which is what
+makes the §5.3 tuning rules (and therefore the paper's (k, l) ladder)
+trustworthy.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import format_table
+from repro.lsh.collision import banded_collision_probability
+from repro.minhash import Shingler
+from repro.utils.rand import rng_from_seed
+
+from _shared import CORA_ATTRS, cora_dataset, cora_lsh, write_result
+
+K, L = 2, 8  # small bands give collisions across the whole s range
+NUM_BINS = 8
+MIN_BIN_COUNT = 30
+
+
+def run_validation():
+    dataset = cora_dataset()
+    blocker = cora_lsh(k=K, l=L, name="LSH-model-check")
+    blocked_pairs = blocker.block(dataset).distinct_pairs
+
+    shingler = Shingler(CORA_ATTRS, q=4)
+    rng = rng_from_seed(11, "collision-model")
+    ids = dataset.record_ids
+
+    # Sample: all true matches plus random pairs, binned by Jaccard.
+    pairs = list(dataset.true_matches)[:4000]
+    for _ in range(12000):
+        id1, id2 = rng.choice(ids), rng.choice(ids)
+        if id1 != id2:
+            pairs.append((min(id1, id2), max(id1, id2)))
+
+    bins = [[0, 0] for _ in range(NUM_BINS)]  # [total, co-blocked]
+    for id1, id2 in set(pairs):
+        similarity = shingler.jaccard(dataset[id1], dataset[id2])
+        index = min(int(similarity * NUM_BINS), NUM_BINS - 1)
+        bins[index][0] += 1
+        if (id1, id2) in blocked_pairs:
+            bins[index][1] += 1
+
+    rows = []
+    for index, (total, hits) in enumerate(bins):
+        lo, hi = index / NUM_BINS, (index + 1) / NUM_BINS
+        midpoint = (lo + hi) / 2
+        predicted = banded_collision_probability(midpoint, K, L)
+        empirical = hits / total if total else float("nan")
+        rows.append([f"[{lo:.3f},{hi:.3f})", total, empirical, predicted])
+    return rows
+
+
+def test_ablation_collision_model(benchmark):
+    rows = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+    write_result(
+        "ablation_collision_model",
+        format_table(
+            ["similarity bin", "pairs", "empirical", "model 1-(1-s^k)^l"],
+            rows,
+            title=f"Ablation — banded collision model vs reality (k={K}, l={L})",
+        ),
+    )
+
+    for label, total, empirical, predicted in rows:
+        if total < MIN_BIN_COUNT:
+            continue
+        # Bin midpoint vs continuous similarity blurs the comparison;
+        # a 0.15 absolute corridor is tight enough to catch a wrong
+        # exponent or an off-by-one in banding.
+        assert abs(empirical - predicted) < 0.15, (label, empirical, predicted)

@@ -1,0 +1,84 @@
+"""Fig. 5 — collision probability of a w-way semantic hash function.
+
+The paper plots the analytic collision probability for w = 1..15 under
+µ ∈ {∧, ∨} and semantic similarities s' ∈ {0.2, 0.3, 0.4, 0.6, 0.7,
+0.8}: AND curves fall towards 0 as w grows, OR curves saturate towards
+1, and they meet at w = 1. This benchmark regenerates the whole grid
+and cross-checks two points against a Monte-Carlo simulation of random
+semhash signatures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import format_table
+from repro.lsh.collision import wway_collision_probability
+from repro.semantic import WWaySemanticHashFamily
+from repro.utils.rand import rng_from_seed
+
+from _shared import write_result
+
+S_PRIMES = (0.2, 0.3, 0.4, 0.6, 0.7, 0.8)
+WS = tuple(range(1, 16))
+
+
+def fig5_grid() -> list[list[object]]:
+    """Rows: (µ, w) — mirroring the AND<-...->OR axis of the figure."""
+    rows: list[list[object]] = []
+    for w in reversed(WS):  # AND side, w decreasing towards the centre
+        rows.append([f"AND w={w}"] + [
+            wway_collision_probability(s, w, "and") for s in S_PRIMES
+        ])
+    for w in WS[1:]:  # OR side (w=1 coincides with AND w=1)
+        rows.append([f"OR  w={w}"] + [
+            wway_collision_probability(s, w, "or") for s in S_PRIMES
+        ])
+    return rows
+
+
+def monte_carlo_probability(
+    s_prime: float, w: int, mode: str, *, num_bits: int = 64, trials: int = 20000
+) -> float:
+    """Empirical firing rate of a w-way function on random signatures.
+
+    Pairs of signatures share each bit independently with probability
+    s_prime (the paper's s' = p_v * p_e model).
+    """
+    rng = rng_from_seed(7, "fig5-mc", s_prime, w, mode)
+    family = WWaySemanticHashFamily(num_bits, w, mode, num_tables=1, seed=3)
+    hits = 0
+    for _ in range(trials):
+        shared = np.array(
+            [1 if rng.random() < s_prime else 0 for _ in range(num_bits)],
+            dtype=np.uint8,
+        )
+        # Build a pair that shares exactly the `shared` bits.
+        sig1 = shared.copy()
+        sig2 = shared.copy()
+        if family.pair_collides(0, sig1, sig2):
+            hits += 1
+    return hits / trials
+
+
+def test_fig5_collision_grid(benchmark):
+    rows = benchmark.pedantic(fig5_grid, rounds=1, iterations=1)
+
+    headers = ["w-way"] + [f"s'={s}" for s in S_PRIMES]
+    write_result(
+        "fig05_wway_collision",
+        format_table(headers, rows, float_digits=3,
+                     title="Fig. 5 — w-way semantic hash collision probability"),
+    )
+
+    # Shape assertions from the figure.
+    and_col = [r[1] for r in rows if str(r[0]).startswith("AND")]
+    or_col = [r[1] for r in rows if str(r[0]).startswith("OR")]
+    assert and_col == sorted(and_col)  # rises as w decreases towards 1
+    assert or_col == sorted(or_col)  # rises as w grows
+
+    # Monte-Carlo agreement at two grid points.
+    for w, mode in ((3, "or"), (2, "and")):
+        analytic = wway_collision_probability(0.4, w, mode)
+        empirical = monte_carlo_probability(0.4, w, mode)
+        assert abs(analytic - empirical) < 0.02, (w, mode, analytic, empirical)

@@ -1,0 +1,118 @@
+"""Fig. 6 — similarity distributions of true matches & collision curves.
+
+Upper subgraphs: the Jaccard similarity distribution of true matches
+under exact values and q = 2, 3, 4 for both corpora (Cora over
+authors+title, NC Voter over first+last name). Lower subgraphs: the
+banded collision probability for the tuned (k, l) ladder — Cora
+(k=1..6, l=2..701) and NC Voter (k=4..9, l=15).
+"""
+
+from __future__ import annotations
+
+from repro.core.tuning import kl_ladder
+from repro.evaluation import format_table
+from repro.lsh.collision import banded_collision_probability
+from repro.minhash import Shingler
+
+from _shared import (
+    CORA_ATTRS,
+    VOTER_ATTRS,
+    cora_dataset,
+    voter_dataset,
+    write_result,
+)
+
+NUM_BINS = 10
+Q_CONFIGS = (("exact", None), ("q=2", 2), ("q=3", 3), ("q=4", 4))
+
+
+def similarity_histogram(dataset, attributes, q, *, max_pairs=20000):
+    """Percentage of true matches per similarity bin."""
+    shingler = Shingler(attributes, q=q)
+    pairs = sorted(dataset.true_matches)[:max_pairs]
+    counts = [0] * NUM_BINS
+    for id1, id2 in pairs:
+        sim = shingler.jaccard(dataset[id1], dataset[id2])
+        counts[min(int(sim * NUM_BINS), NUM_BINS - 1)] += 1
+    total = max(len(pairs), 1)
+    return [100.0 * c / total for c in counts]
+
+
+def distribution_rows(dataset, attributes):
+    rows = []
+    for label, q in Q_CONFIGS:
+        rows.append([label] + similarity_histogram(dataset, attributes, q))
+    return rows
+
+
+def test_fig6_similarity_distributions(benchmark):
+    cora = cora_dataset()
+    voter = voter_dataset()
+
+    cora_rows = benchmark.pedantic(
+        distribution_rows, args=(cora, CORA_ATTRS), rounds=1, iterations=1
+    )
+    voter_rows = distribution_rows(voter, VOTER_ATTRS)
+
+    bin_headers = [f"[{i/10:.1f},{(i+1)/10:.1f})" for i in range(NUM_BINS)]
+    out = []
+    out.append(format_table(
+        ["config"] + bin_headers, cora_rows, float_digits=1,
+        title="Fig. 6 (upper left) — Cora true-match similarity distribution (%)",
+    ))
+    out.append("")
+    out.append(format_table(
+        ["config"] + bin_headers, voter_rows, float_digits=1,
+        title="Fig. 6 (upper right) — NC Voter true-match similarity distribution (%)",
+    ))
+    write_result("fig06_similarity_distributions", "\n".join(out))
+
+    # Paper shape: NC-Voter-like matches are clean — with q=2 most mass
+    # sits in the top similarity bins.
+    q2 = voter_rows[1][1:]
+    assert sum(q2[-3:]) > 50.0
+    # Cora-like matches are dirty: q=4 mass is spread below the top bin.
+    q4 = cora_rows[3][1:]
+    assert sum(q4[:7]) > 20.0
+
+
+def test_fig6_collision_probability_curves(benchmark):
+    def build():
+        cora_ladder = kl_ladder(0.3, 0.4, range(1, 7))
+        similarities = [round(s / 20, 2) for s in range(21)]
+        cora_rows = [
+            [f"k={k} l={l}"] + [
+                banded_collision_probability(s, k, l) for s in similarities
+            ]
+            for k, l in cora_ladder
+        ]
+        voter_rows = [
+            [f"k={k} l=15"] + [
+                banded_collision_probability(s, k, 15) for s in similarities
+            ]
+            for k in range(4, 10)
+        ]
+        return similarities, cora_rows, voter_rows
+
+    similarities, cora_rows, voter_rows = benchmark.pedantic(
+        build, rounds=1, iterations=1
+    )
+
+    headers = ["curve"] + [f"{s:.2f}" for s in similarities]
+    out = [
+        format_table(headers, cora_rows, float_digits=2,
+                     title="Fig. 6 (lower left) — collision probability, Cora ladder"),
+        "",
+        format_table(headers, voter_rows, float_digits=2,
+                     title="Fig. 6 (lower right) — collision probability, NC Voter (l=15)"),
+    ]
+    write_result("fig06_collision_curves", "\n".join(out))
+
+    # The ladder reproduces the paper's exact l values.
+    assert [row[0] for row in cora_rows] == [
+        "k=1 l=2", "k=2 l=6", "k=3 l=19", "k=4 l=63", "k=5 l=210", "k=6 l=701",
+    ]
+    # All curves are monotone in s and steeper k shifts mass rightwards.
+    for row in cora_rows + voter_rows:
+        values = row[1:]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))

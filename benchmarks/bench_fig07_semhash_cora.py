@@ -1,0 +1,59 @@
+"""Fig. 7 — semantic hash functions H11-H15 over Cora (k=4, l=63).
+
+H11: [w=2, ∧]   H12: [w=1]   H13: [w=2, ∨]   H14: [w=3, ∨]   H15: [w=4, ∨]
+
+Paper shapes: PC rises from H11 to H15 (AND is strict, wider OR is
+permissive); PQ moves the other way on Cora (higher semantic similarity
+implies true matches); RR decreases slightly as collisions grow.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import format_table, run_blocking
+
+from _shared import cora_dataset, cora_lsh, cora_salsh, write_result
+
+CONFIGS = (
+    ("H11", 2, "and"),
+    ("H12", 1, "or"),
+    ("H13", 2, "or"),
+    ("H14", 3, "or"),
+    ("H15", 4, "or"),
+)
+
+
+def run_fig7():
+    dataset = cora_dataset()
+    rows = []
+    for label, w, mode in CONFIGS:
+        outcome = run_blocking(cora_salsh(w=w, mode=mode), dataset)
+        m = outcome.metrics
+        rows.append([label, f"w={w},{mode}", m.pc, m.pq, m.rr, m.fm])
+    baseline = run_blocking(cora_lsh(), dataset).metrics
+    rows.append(["LSH", "no semantics", baseline.pc, baseline.pq,
+                 baseline.rr, baseline.fm])
+    return rows
+
+
+def test_fig7_semantic_hash_functions(benchmark):
+    rows = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+
+    write_result(
+        "fig07_semhash_cora",
+        format_table(
+            ["config", "gate", "PC", "PQ", "RR", "FM"], rows,
+            title="Fig. 7 — semantic hash functions over Cora (k=4, l=63)",
+        ),
+    )
+
+    by_label = {row[0]: row for row in rows}
+    pc = {label: by_label[label][2] for label, _, _ in CONFIGS}
+    # PC: AND (H11) is the strictest; OR widens with w (H12 <= ... <= H15).
+    assert pc["H11"] <= pc["H13"] + 0.02
+    assert pc["H12"] <= pc["H15"] + 0.02
+    assert pc["H13"] <= pc["H15"] + 0.02
+    # Every gated config beats-or-matches plain LSH on PQ (Cora's
+    # semantic features point at true matches, §6.3.1).
+    lsh_pq = by_label["LSH"][3]
+    for label, _, _ in CONFIGS:
+        assert by_label[label][3] >= lsh_pq - 0.02, label

@@ -1,0 +1,55 @@
+"""Fig. 8 — semantic hash functions H21-H25 over NC Voter (k=9, l=15).
+
+H21: [w=1]   H22: [w=3, ∨]   H23: [w=5, ∨]   H24: [w=7, ∨]   H25: [w=9, ∨]
+
+Paper shapes: PC rises with w (µ=∨); the overall FM stabilises once w
+exceeds roughly half the 12 semantic bits (§6.3.1); RR stays very high
+because the data is large and clean.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import format_table, run_blocking
+
+from _shared import voter_dataset, voter_lsh, voter_salsh, write_result
+
+CONFIGS = (
+    ("H21", 1, "or"),
+    ("H22", 3, "or"),
+    ("H23", 5, "or"),
+    ("H24", 7, "or"),
+    ("H25", 9, "or"),
+)
+
+
+def run_fig8():
+    dataset = voter_dataset()
+    rows = []
+    for label, w, mode in CONFIGS:
+        outcome = run_blocking(voter_salsh(w=w, mode=mode), dataset)
+        m = outcome.metrics
+        rows.append([label, f"w={w},{mode}", m.pc, m.pq, m.rr, m.fm])
+    baseline = run_blocking(voter_lsh(), dataset).metrics
+    rows.append(["LSH", "no semantics", baseline.pc, baseline.pq,
+                 baseline.rr, baseline.fm])
+    return rows
+
+
+def test_fig8_semantic_hash_functions(benchmark):
+    rows = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+
+    write_result(
+        "fig08_semhash_ncvoter",
+        format_table(
+            ["config", "gate", "PC", "PQ", "RR", "FM"], rows,
+            title="Fig. 8 — semantic hash functions over NC Voter (k=9, l=15)",
+        ),
+    )
+
+    pc_values = [row[2] for row in rows[:5]]
+    # PC increases with w under OR (within small noise).
+    for earlier, later in zip(pc_values, pc_values[1:]):
+        assert later >= earlier - 0.03
+    # RR stays high on the large clean corpus.
+    for row in rows:
+        assert row[4] > 0.99

@@ -1,0 +1,97 @@
+"""Fig. 9 — LSH vs SA-LSH across the (k, l) ladders.
+
+(a)-(c): Cora with the tuned ladder k=1..6, l=2,6,19,63,210,701.
+(d)-(f): NC Voter with k=4..9, l=15.
+
+SA-LSH uses the lowest semantic threshold (§6.3.2): two records are
+semantically compatible when they share at least one leaf concept —
+the w-way OR over all semhash bits.
+
+Paper shapes: SA-LSH's PQ and RR dominate LSH's at every k; the PC gap
+is visible on Cora (noisy semantic features) and nearly zero on NC
+Voter (uncertain but clean features).
+"""
+
+from __future__ import annotations
+
+from repro.core.tuning import kl_ladder
+from repro.evaluation import format_table, run_blocking
+
+from _shared import (
+    cora_dataset,
+    cora_lsh,
+    cora_salsh,
+    scale,
+    voter_dataset,
+    voter_lsh,
+    voter_salsh,
+    write_result,
+)
+
+
+def cora_ladder():
+    ladder = kl_ladder(0.3, 0.4, range(1, 7))
+    if scale() != "paper":
+        # k=6 -> l=701 costs ~10x the rest combined; small scale stops at 5.
+        ladder = ladder[:5]
+    return ladder
+
+
+def run_cora_sweep():
+    dataset = cora_dataset()
+    rows = []
+    for k, l in cora_ladder():
+        lsh = run_blocking(cora_lsh(k=k, l=l), dataset).metrics
+        salsh = run_blocking(cora_salsh(k=k, l=l), dataset).metrics
+        rows.append([f"k={k} l={l}", lsh.pc, salsh.pc, lsh.pq, salsh.pq,
+                     lsh.rr, salsh.rr])
+    return rows
+
+
+def run_voter_sweep():
+    dataset = voter_dataset()
+    rows = []
+    for k in range(4, 10):
+        lsh = run_blocking(voter_lsh(k=k, l=15), dataset).metrics
+        salsh = run_blocking(voter_salsh(k=k, l=15), dataset).metrics
+        rows.append([f"k={k} l=15", lsh.pc, salsh.pc, lsh.pq, salsh.pq,
+                     lsh.rr, salsh.rr])
+    return rows
+
+
+HEADERS = ["params", "PC(LSH)", "PC(SA)", "PQ(LSH)", "PQ(SA)", "RR(LSH)", "RR(SA)"]
+
+
+def test_fig9_cora_sweep(benchmark):
+    rows = benchmark.pedantic(run_cora_sweep, rounds=1, iterations=1)
+    write_result(
+        "fig09_cora",
+        format_table(HEADERS, rows,
+                     title="Fig. 9 (a)-(c) — LSH vs SA-LSH over Cora"),
+    )
+    for row in rows:
+        _, pc_lsh, pc_sa, pq_lsh, pq_sa, rr_lsh, rr_sa = row
+        assert pq_sa >= pq_lsh - 1e-9  # semantic gate can only purify
+        assert rr_sa >= rr_lsh - 1e-9
+        assert pc_sa <= pc_lsh + 1e-9
+    # PC climbs with k (more tables -> higher recall), as in Fig. 9 (a).
+    pcs = [row[1] for row in rows]
+    assert pcs[-1] >= pcs[0]
+
+
+def test_fig9_voter_sweep(benchmark):
+    rows = benchmark.pedantic(run_voter_sweep, rounds=1, iterations=1)
+    write_result(
+        "fig09_voter",
+        format_table(HEADERS, rows,
+                     title="Fig. 9 (d)-(f) — LSH vs SA-LSH over NC Voter"),
+    )
+    for row in rows:
+        _, pc_lsh, pc_sa, pq_lsh, pq_sa, rr_lsh, rr_sa = row
+        assert pq_sa >= pq_lsh - 1e-9
+        # §6.3.2: on NC Voter the PC values of LSH and SA-LSH coincide
+        # (features are uncertain, not noisy) — allow small daylight.
+        assert pc_lsh - pc_sa <= 0.02
+    # PC decreases as k grows at fixed l=15 (stricter bands), Fig. 9 (d).
+    pcs = [row[1] for row in rows]
+    assert pcs[-1] <= pcs[0] + 1e-9

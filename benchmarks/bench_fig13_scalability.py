@@ -1,0 +1,75 @@
+"""Fig. 13 — PC/PQ/RR and runtime of (SA-)LSH over growing data sets.
+
+The paper sweeps NC Voter subsets of 10k..292,892 records (k=9, l=15)
+and plots (a) PC, (b) PQ, (c) RR, (d) blocking time for LSH, SA-LSH and
+SF (building the semantic function: interpreting records and encoding
+semhash signatures).
+
+Paper shapes: PC is flat and identical for LSH and SA-LSH; SA-LSH's PQ
+stays strictly above LSH's at every size; RR is ~0.9999 everywhere;
+all three time curves grow linearly, with SF the cheapest.
+
+Default sizes are laptop-scale; REPRO_BENCH_SCALE=paper uses the
+paper's 10k..292k ladder.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import NCVoterLikeGenerator
+from repro.evaluation import format_table, run_blocking
+
+from _shared import SEED, scale, voter_lsh, voter_salsh, write_result
+
+SIZES_SMALL = (2000, 5000, 10000, 20000, 40000)
+SIZES_PAPER = (10000, 50000, 100000, 150000, 200000, 240000, 292892)
+
+
+def sizes():
+    return SIZES_PAPER if scale() == "paper" else SIZES_SMALL
+
+
+def run_fig13():
+    rows = []
+    for n in sizes():
+        dataset = NCVoterLikeGenerator(num_records=n, seed=SEED).generate()
+        lsh = run_blocking(voter_lsh(), dataset)
+        salsh = run_blocking(voter_salsh(), dataset)
+        rows.append([
+            n,
+            lsh.metrics.pc, salsh.metrics.pc,
+            lsh.metrics.pq, salsh.metrics.pq,
+            lsh.metrics.rr, salsh.metrics.rr,
+            lsh.seconds, salsh.seconds, salsh.sf_seconds,
+        ])
+    return rows
+
+
+def test_fig13_scalability(benchmark):
+    rows = benchmark.pedantic(run_fig13, rounds=1, iterations=1)
+
+    write_result(
+        "fig13_scalability",
+        format_table(
+            ["records", "PC(LSH)", "PC(SA)", "PQ(LSH)", "PQ(SA)",
+             "RR(LSH)", "RR(SA)", "t(LSH)s", "t(SA)s", "t(SF)s"],
+            rows,
+            title="Fig. 13 — scalability of LSH / SA-LSH / SF (k=9, l=15)",
+        ),
+    )
+
+    for row in rows:
+        n, pc_lsh, pc_sa, pq_lsh, pq_sa, rr_lsh, rr_sa, t_lsh, t_sa, t_sf = row
+        # (a) PC almost identical between LSH and SA-LSH.
+        assert abs(pc_lsh - pc_sa) <= 0.02, n
+        # (b) SA-LSH's PQ at or above LSH's.
+        assert pq_sa >= pq_lsh - 1e-9, n
+        # (c) RR near 1 on all sizes.
+        assert rr_lsh > 0.99 and rr_sa > 0.99, n
+        # (d) SF is cheaper than the full SA-LSH pass.
+        assert t_sf <= t_sa, n
+
+    # Linear-ish scaling: time per record must not grow with n by more
+    # than 3x between the smallest and largest sweep points.
+    per_record_first = rows[0][7] / rows[0][0]
+    per_record_last = rows[-1][7] / rows[-1][0]
+    assert per_record_last < per_record_first * 3.0

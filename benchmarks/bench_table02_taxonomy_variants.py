@@ -1,0 +1,88 @@
+"""Table 2 — impact of taxonomy-tree variants on Cora blocking.
+
+For tbib and the three Fig. 10 variants (t1 drops the peer-review
+level, t2 drops Book, t3 drops Journal), the paper reports the mean ±
+std *change* of PC/PQ/RR/FM when SA-LSH replaces LSH (k=4, l=63),
+across repeated runs.
+
+Paper shapes: PC always decreases, PQ/RR/FM always increase; the
+variants lose less PC than tbib (missing concepts re-relate records via
+parent concepts); t3 (no Journal) gains the least PQ because journals
+are the most populous venue type.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.evaluation import format_table, run_blocking
+from repro.semantic import PatternSemanticFunction, cora_patterns_for
+from repro.taxonomy.builders import bibliographic_tree, bibliographic_tree_variant
+
+from _shared import CORA_ATTRS, cora_dataset, cora_lsh, cora_salsh, scale, write_result
+
+SEEDS = (11, 22, 33) if scale() != "paper" else (11, 22, 33, 44, 55)
+
+TREES = (
+    ("tbib", bibliographic_tree),
+    ("t(bib,1)", lambda: bibliographic_tree_variant(1)),
+    ("t(bib,2)", lambda: bibliographic_tree_variant(2)),
+    ("t(bib,3)", lambda: bibliographic_tree_variant(3)),
+)
+
+
+def deltas_for_tree(tree_factory) -> dict[str, list[float]]:
+    """Per-seed percentage deltas (SA-LSH minus LSH) for one taxonomy."""
+    dataset = cora_dataset()
+    tree = tree_factory()
+    function = PatternSemanticFunction(tree, cora_patterns_for(tree))
+    deltas: dict[str, list[float]] = {"PC": [], "PQ": [], "RR": [], "FM": []}
+    for seed in SEEDS:
+        lsh = run_blocking(cora_lsh(seed=seed), dataset).metrics
+        salsh = run_blocking(
+            cora_salsh(seed=seed, semantic_function=function), dataset
+        ).metrics
+        deltas["PC"].append(100.0 * (salsh.pc - lsh.pc))
+        deltas["PQ"].append(100.0 * (salsh.pq - lsh.pq))
+        deltas["RR"].append(100.0 * (salsh.rr - lsh.rr))
+        deltas["FM"].append(100.0 * (salsh.fm - lsh.fm))
+    return deltas
+
+
+def run_table2():
+    return {name: deltas_for_tree(factory) for name, factory in TREES}
+
+
+def _mean_std(values: list[float]) -> str:
+    mean = statistics.mean(values)
+    std = statistics.stdev(values) if len(values) > 1 else 0.0
+    return f"{mean:+.2f}±{std:.2f}"
+
+
+def test_table2_taxonomy_variants(benchmark):
+    results = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+
+    measures = ("PC", "PQ", "RR", "FM")
+    rows = [
+        [measure] + [_mean_std(results[name][measure]) for name, _ in TREES]
+        for measure in measures
+    ]
+    write_result(
+        "table02_taxonomy_variants",
+        format_table(
+            ["measure"] + [name for name, _ in TREES], rows,
+            title="Table 2 — SA-LSH impact vs LSH under taxonomy variants "
+                  "(percentage-point deltas, mean±std)",
+        ),
+    )
+
+    for name, _ in TREES:
+        assert statistics.mean(results[name]["PC"]) <= 0.0, name  # PC drops
+        assert statistics.mean(results[name]["PQ"]) >= 0.0, name  # PQ gains
+        assert statistics.mean(results[name]["RR"]) >= 0.0, name
+        assert statistics.mean(results[name]["FM"]) >= -0.5, name
+
+    # Variants (missing concepts) lose less PC than the full tree.
+    full_pc = statistics.mean(results["tbib"]["PC"])
+    for variant in ("t(bib,1)", "t(bib,2)", "t(bib,3)"):
+        assert statistics.mean(results[variant]["PC"]) >= full_pc - 0.5

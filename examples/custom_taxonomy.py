@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Bring your own domain: SA-LSH over a custom product taxonomy.
+
+The framework is not tied to bibliographies or voter rolls — any domain
+with a concept hierarchy works. This example deduplicates a small
+product catalogue where listings of *different* product categories can
+share nearly identical titles ("apple watch series 5" the wearable vs
+"apple watch series 5 case" the accessory).
+
+It demonstrates the three extension points:
+
+1. build a :class:`TaxonomyTree` for the domain;
+2. write a semantic function (here keyword rules over the category and
+   title attributes);
+3. run :class:`SALSHBlocker` with the pieces.
+
+Run:  python examples/custom_taxonomy.py
+"""
+
+from repro.core import LSHBlocker, SALSHBlocker
+from repro.evaluation import evaluate_blocks, format_table
+from repro.records import Dataset, Record
+from repro.semantic import CallableSemanticFunction
+from repro.taxonomy import TaxonomyTree
+
+
+def product_tree() -> TaxonomyTree:
+    return TaxonomyTree.from_spec(
+        "products",
+        ("root", "Product", [
+            ("electronics", "Electronics", [
+                ("wearable", "Wearable", []),
+                ("phone", "Phone", []),
+                ("laptop", "Laptop", []),
+            ]),
+            ("accessory", "Accessory", [
+                ("case", "Case", []),
+                ("charger", "Charger", []),
+            ]),
+        ]),
+    )
+
+
+def catalogue() -> Dataset:
+    rows = [
+        # id, title, category hint, entity
+        ("p1", "apple watch series 5 44mm", "wearable", "watch5"),
+        ("p2", "apple watch series 5, 44 mm", "wearable", "watch5"),
+        ("p3", "apple watch series 5 case 44mm", "case", "watch5case"),
+        ("p4", "apple watch 5 charger cable", "charger", "watch5charger"),
+        ("p5", "galaxy phone s10 128gb", "phone", "s10"),
+        ("p6", "galaxy phone s10 128 gb", "phone", "s10"),
+        ("p7", "galaxy s10 phone case", "case", "s10case"),
+        ("p8", "ultrabook laptop 13 inch", "laptop", "ultra13"),
+    ]
+    return Dataset(
+        [Record(rid, {"title": t, "category": c}, entity_id=e)
+         for rid, t, c, e in rows],
+        name="catalogue",
+    )
+
+
+def main():
+    tree = product_tree()
+    dataset = catalogue()
+
+    # A semantic function from the (possibly noisy) category attribute;
+    # unknown categories fall back to the root concept.
+    def interpret(record):
+        category = record.get("category")
+        return (category,) if tree.has_concept(category) else ("root",)
+
+    semantic_function = CallableSemanticFunction(tree, interpret)
+
+    lsh = LSHBlocker(("title",), q=2, k=2, l=8, seed=21)
+    salsh = SALSHBlocker(
+        ("title",), q=2, k=2, l=8, seed=21,
+        semantic_function=semantic_function, w="all", mode="or",
+    )
+
+    rows = []
+    for blocker in (lsh, salsh):
+        result = blocker.block(dataset)
+        m = evaluate_blocks(result, dataset)
+        rows.append([blocker.name, m.pc, m.pq, m.fm,
+                     len(result.distinct_pairs)])
+
+    print(format_table(
+        ["method", "PC", "PQ", "FM", "pairs"], rows, float_digits=2,
+        title="Product catalogue deduplication",
+    ))
+
+    semantic_pairs = salsh.block(dataset).distinct_pairs
+    assert ("p1", "p3") not in semantic_pairs, (
+        "the watch and its case are textually close but semantically "
+        "unrelated — the taxonomy separates them"
+    )
+    print("\nThe 'apple watch' listing and its case accessory were kept "
+          "apart by the wearable/case concepts; the two true duplicate "
+          "pairs survive.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Deduplicating a dirty bibliography (the paper's Cora scenario).
+
+The script walks the full SA-LSH methodology:
+
+1. generate a Cora-like corpus (dirty, heavily duplicated);
+2. learn the similarity distribution of true matches on a training
+   sample and derive (sh, k, l) with the §5.3 tuning rules;
+3. block with plain LSH and with SA-LSH (Table 1 missing-value-pattern
+   semantics over the Fig. 3 bibliographic taxonomy);
+4. report PC/PQ/RR/FM for both.
+
+Run:  python examples/publications_dedup.py
+"""
+
+from repro.core import LSHBlocker, SALSHBlocker
+from repro.core.tuning import determine_kl, determine_sh
+from repro.datasets import CoraLikeGenerator
+from repro.evaluation import format_table, run_blocking
+from repro.minhash import Shingler
+from repro.semantic import PatternSemanticFunction, cora_patterns
+from repro.taxonomy.builders import bibliographic_tree
+
+ATTRIBUTES = ("authors", "title")
+
+
+def main():
+    dataset = CoraLikeGenerator(num_records=1879, num_entities=190, seed=42).generate()
+    print(f"corpus: {len(dataset)} records, {len(dataset.clusters)} entities, "
+          f"{dataset.num_true_matches} true-match pairs\n")
+
+    # -- §5.3 parameter tuning on a small training sample --------------------
+    shingler = Shingler(ATTRIBUTES, q=4)
+    training_pairs = sorted(dataset.true_matches)[:500]
+    similarities = [
+        shingler.jaccard(dataset[a], dataset[b]) for a, b in training_pairs
+    ]
+    sh = determine_sh(similarities, epsilon=0.05)
+    sl = max(round(sh - 0.1, 3), 0.02)
+    params = determine_kl(sh, sl, ph=0.4, pl=0.1)
+    print(f"tuned parameters: sh={params.sh:.2f} sl={params.sl:.2f} "
+          f"-> k={params.k}, l={params.l}\n")
+
+    # -- blocking --------------------------------------------------------------
+    semantic_function = PatternSemanticFunction(
+        bibliographic_tree(), cora_patterns()
+    )
+    lsh = LSHBlocker(ATTRIBUTES, q=4, k=params.k, l=params.l, seed=7)
+    salsh = SALSHBlocker(
+        ATTRIBUTES, q=4, k=params.k, l=params.l, seed=7,
+        semantic_function=semantic_function, w="all", mode="or",
+    )
+
+    rows = []
+    for blocker in (lsh, salsh):
+        outcome = run_blocking(blocker, dataset)
+        m = outcome.metrics
+        rows.append([
+            blocker.name, m.pc, m.pq, m.rr, m.fm,
+            m.num_distinct_pairs, f"{outcome.seconds:.2f}s",
+        ])
+    print(format_table(
+        ["method", "PC", "PQ", "RR", "FM", "pairs", "time"], rows,
+        title="LSH vs SA-LSH on the Cora-like corpus",
+    ))
+    print("\nSA-LSH shrinks the candidate set (higher PQ/RR) at a small "
+          "PC cost — semantic noise in the venue attributes is why the "
+          "PC gap exists at all (§6.3.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's Fig. 1 running example, end to end.
+
+Six bibliographic records about cascade-correlation learning are blocked
+three ways:
+
+* B1 — textual similarity only (plain LSH over title+authors q-grams);
+* B2 — semantic similarity only (records sharing a related concept);
+* B3 — semantic-aware LSH (SA-LSH), which keeps the textually similar
+  conference versions together while expelling the technical report.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import LSHBlocker, SALSHBlocker
+from repro.datasets import fig1_dataset, fig1_semantic_function
+from repro.evaluation import evaluate_blocks, format_table
+from repro.semantic import record_semantic_similarity
+from repro.minhash import Shingler
+from repro.taxonomy.builders import bibliographic_tree
+
+
+def show_similarities(dataset, semantic_function):
+    """Print the TS/SS matrix of Fig. 1 (textual & semantic similarity)."""
+    tree = bibliographic_tree()
+    shingler = Shingler(("title", "authors"), q=2)
+    rows = []
+    records = list(dataset)
+    for i, r1 in enumerate(records):
+        for r2 in records[i + 1 :]:
+            ts = shingler.jaccard(r1, r2)
+            ss = record_semantic_similarity(
+                tree,
+                semantic_function.interpret(r1),
+                semantic_function.interpret(r2),
+            )
+            rows.append([f"{r1.record_id},{r2.record_id}", ts, ss])
+    print(format_table(["pair", "TS", "SS"], rows, float_digits=2,
+                       title="Fig. 1 textual (TS) and semantic (SS) similarity"))
+    print()
+
+
+def show_blocks(name, result):
+    blocks = sorted({tuple(sorted(set(b))) for b in result.blocks})
+    merged = sorted({", ".join(b) for b in blocks})
+    print(f"{name}: " + " | ".join("{" + b + "}" for b in merged))
+
+
+def main():
+    dataset = fig1_dataset()
+    semantic_function = fig1_semantic_function()
+
+    show_similarities(dataset, semantic_function)
+
+    lsh = LSHBlocker(("title", "authors"), q=2, k=2, l=8, seed=11)
+    salsh = SALSHBlocker(
+        ("title", "authors"), q=2, k=2, l=8, seed=11,
+        semantic_function=semantic_function, w="all", mode="or",
+    )
+
+    textual = lsh.block(dataset)
+    combined = salsh.block(dataset)
+
+    show_blocks("B1 (textual LSH)   ", textual)
+    show_blocks("B3 (semantic-aware)", combined)
+    print()
+
+    rows = []
+    for label, result in (("LSH", textual), ("SA-LSH", combined)):
+        metrics = evaluate_blocks(result, dataset)
+        rows.append([label, metrics.pc, metrics.pq, metrics.rr, metrics.fm,
+                     len(result.distinct_pairs)])
+    print(format_table(
+        ["method", "PC", "PQ", "RR", "FM", "pairs"], rows, float_digits=2,
+        title="Blocking quality on the running example",
+    ))
+
+    assert ("r1", "r4") not in combined.distinct_pairs, (
+        "the technical report r4 must not co-block with the conference "
+        "versions r1/r2 under SA-LSH"
+    )
+    print("\nSA-LSH removed the textually-similar but semantically-"
+          "dissimilar pair (r1, r4), as in Example 5.1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Deduplicating a voter registry with uncertain semantic features.
+
+NC-Voter-style data is the opposite regime from Cora: records are
+relatively clean, duplication is rare, and the semantic attributes
+(race, gender) carry *uncertain* values ('u'). The script shows how the
+w-way OR semantic hash function trades PC against PQ as w grows —
+the paper's Fig. 8 experiment in miniature.
+
+Run:  python examples/voter_dedup.py
+"""
+
+from repro.core import LSHBlocker, SALSHBlocker
+from repro.datasets import NCVoterLikeGenerator
+from repro.evaluation import format_table, run_blocking
+from repro.semantic import VoterSemanticFunction
+
+ATTRIBUTES = ("first_name", "last_name")
+
+
+def main():
+    dataset = NCVoterLikeGenerator(num_records=5000, seed=13).generate()
+    print(f"registry: {len(dataset)} records, "
+          f"{dataset.num_true_matches} duplicate pairs\n")
+
+    semantic_function = VoterSemanticFunction()
+    rows = []
+
+    baseline = run_blocking(
+        LSHBlocker(ATTRIBUTES, q=2, k=9, l=15, seed=3), dataset
+    )
+    m = baseline.metrics
+    rows.append(["LSH (no semantics)", m.pc, m.pq, m.rr, m.fm])
+
+    for w in (1, 3, 5, 7, 9, 12):
+        blocker = SALSHBlocker(
+            ATTRIBUTES, q=2, k=9, l=15, seed=3,
+            semantic_function=semantic_function, w=w, mode="or",
+        )
+        m = run_blocking(blocker, dataset).metrics
+        rows.append([f"SA-LSH [w={w}, OR]", m.pc, m.pq, m.rr, m.fm])
+
+    print(format_table(
+        ["method", "PC", "PQ", "RR", "FM"], rows,
+        title="w-way OR semantic hash functions on the voter registry",
+    ))
+    print("\nSmall w is aggressive (high PQ, lower PC because uncertain "
+          "records miss the chosen bits); growing w recovers PC — the "
+          "Fig. 8 trade-off.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package, so PEP 517 editable installs
+(``pip install -e .``) cannot build a wheel; this shim lets pip fall
+back to ``setup.py develop``. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

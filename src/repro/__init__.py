@@ -1,0 +1,65 @@
+"""Semantic-aware LSH blocking for entity resolution.
+
+Reproduction of Wang, Cui & Liang, "Semantic-Aware Blocking for Entity
+Resolution", IEEE TKDE 28(1), 2016.
+
+The top-level package re-exports the most commonly used classes so that a
+typical session only needs::
+
+    from repro import (
+        Dataset, Record, LSHBlocker, SALSHBlocker,
+        TaxonomyTree, bibliographic_tree, evaluate_blocks,
+    )
+
+Sub-packages
+------------
+``repro.records``
+    Record and dataset model with ground-truth bookkeeping.
+``repro.text``
+    String normalisation, q-grams and string similarity functions.
+``repro.minhash`` / ``repro.lsh``
+    Minhash signatures and banded locality-sensitive hashing.
+``repro.taxonomy`` / ``repro.semantic``
+    Taxonomy trees, semantic functions, semantic similarity and semhash.
+``repro.core``
+    The LSH and SA-LSH blockers, robustness analysis and parameter tuning.
+``repro.baselines``
+    The twelve survey blocking techniques of the paper's Table 3.
+``repro.metablocking``
+    Meta-blocking (weighting schemes + pruning) used in Fig. 12.
+``repro.datasets``
+    Synthetic Cora-like / NC-Voter-like generators and the Fig. 1 example.
+``repro.evaluation``
+    PC / PQ / RR / FM metrics and experiment runners.
+"""
+
+from repro._version import __version__
+from repro.records import Dataset, Record
+from repro.taxonomy import TaxonomyForest, TaxonomyTree
+from repro.taxonomy.builders import bibliographic_tree, voter_tree
+from repro.semantic import (
+    PatternSemanticFunction,
+    SemhashEncoder,
+    concept_similarity,
+    record_semantic_similarity,
+)
+from repro.core import LSHBlocker, SALSHBlocker
+from repro.evaluation import BlockingMetrics, evaluate_blocks
+
+__all__ = [
+    "__version__",
+    "Record",
+    "Dataset",
+    "TaxonomyTree",
+    "TaxonomyForest",
+    "bibliographic_tree",
+    "voter_tree",
+    "PatternSemanticFunction",
+    "SemhashEncoder",
+    "concept_similarity",
+    "record_semantic_similarity",
+    "LSHBlocker",
+    "SALSHBlocker",
+    "BlockingMetrics",
+    "evaluate_blocks",
+]

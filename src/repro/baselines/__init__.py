@@ -1,0 +1,53 @@
+"""The twelve survey blocking techniques of the paper's Table 3.
+
+Abbreviations follow Christen's survey (TKDE 2012): TBlo, SorA, SorII,
+ASor, QGr, CaTh, CaNN, StMT, StMNN, SuA, SuAS, RSuA. The registry module
+reproduces the paper's 163-setting parameter grid.
+"""
+
+from repro.baselines.standard import StandardBlocker
+from repro.baselines.sorted_neighbourhood import (
+    ArraySortedNeighbourhood,
+    InvertedIndexSortedNeighbourhood,
+)
+from repro.baselines.adaptive_sn import AdaptiveSortedNeighbourhood
+from repro.baselines.qgram_index import QGramBlocker
+from repro.baselines.canopy import NearestNeighbourCanopy, ThresholdCanopy
+from repro.baselines.stringmap import (
+    StringMapEmbedder,
+    StringMapNNBlocker,
+    StringMapThresholdBlocker,
+)
+from repro.baselines.token import TokenBlocker
+from repro.baselines.suffix_array import (
+    AllSubstringsBlocker,
+    RobustSuffixArrayBlocker,
+    SuffixArrayBlocker,
+)
+from repro.baselines.registry import (
+    TECHNIQUE_ORDER,
+    iter_parameter_grid,
+    make_blockers,
+    paper_grid_sizes,
+)
+
+__all__ = [
+    "StandardBlocker",
+    "TokenBlocker",
+    "ArraySortedNeighbourhood",
+    "InvertedIndexSortedNeighbourhood",
+    "AdaptiveSortedNeighbourhood",
+    "QGramBlocker",
+    "ThresholdCanopy",
+    "NearestNeighbourCanopy",
+    "StringMapEmbedder",
+    "StringMapThresholdBlocker",
+    "StringMapNNBlocker",
+    "SuffixArrayBlocker",
+    "AllSubstringsBlocker",
+    "RobustSuffixArrayBlocker",
+    "TECHNIQUE_ORDER",
+    "make_blockers",
+    "iter_parameter_grid",
+    "paper_grid_sizes",
+]

@@ -1,0 +1,63 @@
+"""Adaptive sorted neighbourhood (ASor) — Yan et al., JCDL 2007.
+
+Instead of a fixed window, the sorted key list is segmented where the
+similarity between consecutive keys drops below a threshold; each
+segment's records form one block. This adapts block sizes to the local
+density of the key space.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import KeyedBlocker
+from repro.errors import ConfigurationError
+from repro.records.dataset import Dataset
+from repro.text.similarity import get_similarity
+
+
+class AdaptiveSortedNeighbourhood(KeyedBlocker):
+    """ASor — similarity-segmented sorted neighbourhood."""
+
+    name = "ASor"
+
+    def __init__(
+        self,
+        attributes: tuple[str, ...],
+        similarity: str = "jaro_winkler",
+        threshold: float = 0.8,
+        *,
+        max_block_size: int = 100,
+    ) -> None:
+        super().__init__(attributes)
+        if not 0.0 < threshold <= 1.0:
+            raise ConfigurationError(
+                f"threshold must be in (0, 1], got {threshold}"
+            )
+        self.similarity_name = similarity
+        self.similarity = get_similarity(similarity)
+        self.threshold = threshold
+        self.max_block_size = max_block_size
+
+    def describe(self) -> str:
+        return f"ASor(sim={self.similarity_name}, t={self.threshold})"
+
+    def _groups(self, dataset: Dataset) -> list[list[str]]:
+        index = self.key_index(dataset)
+        keys = sorted(index)
+        groups: list[list[str]] = []
+        current: list[str] = []
+
+        def flush() -> None:
+            if current:
+                groups.append(list(current))
+                current.clear()
+
+        previous_key: str | None = None
+        for key in keys:
+            if previous_key is not None:
+                boundary = self.similarity(previous_key, key) < self.threshold
+                if boundary or len(current) >= self.max_block_size:
+                    flush()
+            current.extend(index[key])
+            previous_key = key
+        flush()
+        return groups

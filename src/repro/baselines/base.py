@@ -1,0 +1,57 @@
+"""Shared machinery for the baseline blockers: blocking keys."""
+
+from __future__ import annotations
+
+import time
+from abc import abstractmethod
+
+from repro.core.base import Blocker, BlockingResult, make_blocks
+from repro.errors import ConfigurationError
+from repro.records.dataset import Dataset
+from repro.records.record import Record
+from repro.text.normalize import normalize
+
+
+class KeyedBlocker(Blocker):
+    """Base class for blockers driven by a blocking-key string.
+
+    The blocking key value (BKV) is the normalised concatenation of the
+    configured attributes — e.g. ``authors + title`` for Cora, ``first
+    name + last name`` for NC Voter, matching §6.3.4.
+    """
+
+    def __init__(self, attributes: tuple[str, ...]) -> None:
+        if not attributes:
+            raise ConfigurationError("need at least one key attribute")
+        self.attributes = tuple(attributes)
+
+    def key(self, record: Record) -> str:
+        """The record's blocking key value."""
+        parts = [normalize(record.get(a)) for a in self.attributes]
+        return " ".join(p for p in parts if p)
+
+    @abstractmethod
+    def _groups(self, dataset: Dataset) -> list[list[str]]:
+        """Raw record-id groups before normalisation."""
+
+    def block(self, dataset: Dataset) -> BlockingResult:
+        start = time.perf_counter()
+        blocks = make_blocks(self._groups(dataset))
+        elapsed = time.perf_counter() - start
+        return BlockingResult(
+            blocker_name=self.name,
+            blocks=blocks,
+            seconds=elapsed,
+            metadata={"description": self.describe()},
+        )
+
+    def sorted_keyed_records(self, dataset: Dataset) -> list[tuple[str, str]]:
+        """(key, record_id) pairs sorted by key, then id (determinism)."""
+        return sorted((self.key(r), r.record_id) for r in dataset)
+
+    def key_index(self, dataset: Dataset) -> dict[str, list[str]]:
+        """Inverted index: key value -> record ids (insertion order)."""
+        index: dict[str, list[str]] = {}
+        for record in dataset:
+            index.setdefault(self.key(record), []).append(record.record_id)
+        return index

@@ -1,0 +1,189 @@
+"""Canopy clustering blockers (CaTh, CaNN) — McCallum et al., 2000.
+
+A random seed record is drawn from the pool; records cheaply similar to
+it form a canopy (block). Records *very* similar to the seed are removed
+from the pool, so canopies overlap but the pool shrinks every round.
+
+* CaTh uses loose/tight similarity thresholds.
+* CaNN replaces the thresholds with nearest-neighbour counts (the n1
+  nearest records form the canopy, the n2 nearest leave the pool).
+
+Candidate similarities are computed only for records sharing at least
+one q-gram with the seed (inverted index), which is the standard trick
+that keeps canopies sub-quadratic in practice.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.baselines.base import KeyedBlocker
+from repro.errors import ConfigurationError
+from repro.records.dataset import Dataset
+from repro.text.jaccard import jaccard_similarity
+from repro.text.qgrams import qgram_set, qgrams
+from repro.text.tfidf import TfidfVectorizer, cosine_similarity
+from repro.utils.rand import rng_from_seed
+
+#: Similarity flavours accepted by the canopy blockers.
+CANOPY_SIMILARITIES = ("jaccard", "tfidf")
+
+
+class _CanopyBase(KeyedBlocker):
+    """Shared canopy machinery: token index and similarity backend."""
+
+    def __init__(
+        self,
+        attributes: tuple[str, ...],
+        similarity: str = "tfidf",
+        q: int = 2,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(attributes)
+        if similarity not in CANOPY_SIMILARITIES:
+            raise ConfigurationError(
+                f"similarity must be one of {CANOPY_SIMILARITIES}, got {similarity!r}"
+            )
+        if q < 1:
+            raise ConfigurationError(f"q must be >= 1, got {q}")
+        self.similarity_name = similarity
+        self.q = q
+        self.seed = seed
+
+    def _prepare(self, dataset: Dataset):
+        """Tokenise keys, build the inverted index and similarity fn."""
+        tokens_of: dict[str, tuple[str, ...]] = {}
+        for record in dataset:
+            tokens_of[record.record_id] = tuple(qgrams(self.key(record), self.q))
+
+        index: dict[str, set[str]] = defaultdict(set)
+        for record_id, tokens in tokens_of.items():
+            for token in set(tokens):
+                index[token].add(record_id)
+
+        if self.similarity_name == "tfidf":
+            vectorizer = TfidfVectorizer().fit(tokens_of.values())
+            vectors = {
+                rid: vectorizer.transform(tokens) for rid, tokens in tokens_of.items()
+            }
+
+            def sim(a: str, b: str) -> float:
+                return cosine_similarity(vectors[a], vectors[b])
+
+        else:
+            sets = {rid: frozenset(tokens) for rid, tokens in tokens_of.items()}
+
+            def sim(a: str, b: str) -> float:
+                return jaccard_similarity(sets[a], sets[b])
+
+        return tokens_of, index, sim
+
+    def _candidates(
+        self,
+        seed_id: str,
+        tokens_of: dict[str, tuple[str, ...]],
+        index: dict[str, set[str]],
+        pool: set[str],
+    ) -> set[str]:
+        found: set[str] = set()
+        for token in set(tokens_of[seed_id]):
+            found |= index[token] & pool
+        found.discard(seed_id)
+        return found
+
+
+class ThresholdCanopy(_CanopyBase):
+    """CaTh — canopy clustering with loose/tight similarity thresholds."""
+
+    name = "CaTh"
+
+    def __init__(
+        self,
+        attributes: tuple[str, ...],
+        similarity: str = "tfidf",
+        loose: float = 0.8,
+        tight: float = 0.9,
+        q: int = 2,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(attributes, similarity, q, seed)
+        if not 0.0 < loose <= tight <= 1.0:
+            raise ConfigurationError(
+                f"need 0 < loose <= tight <= 1, got loose={loose}, tight={tight}"
+            )
+        self.loose = loose
+        self.tight = tight
+
+    def describe(self) -> str:
+        return (
+            f"CaTh(sim={self.similarity_name}, q={self.q}, "
+            f"loose={self.loose}, tight={self.tight})"
+        )
+
+    def _groups(self, dataset: Dataset) -> list[list[str]]:
+        tokens_of, index, sim = self._prepare(dataset)
+        rng = rng_from_seed(self.seed, "canopy-th", dataset.name)
+        pool = set(tokens_of)
+        groups: list[list[str]] = []
+        while pool:
+            seed_id = rng.choice(sorted(pool))
+            canopy = [seed_id]
+            removed = {seed_id}
+            for candidate in self._candidates(seed_id, tokens_of, index, pool):
+                similarity = sim(seed_id, candidate)
+                if similarity >= self.loose:
+                    canopy.append(candidate)
+                    if similarity >= self.tight:
+                        removed.add(candidate)
+            pool -= removed
+            groups.append(canopy)
+        return groups
+
+
+class NearestNeighbourCanopy(_CanopyBase):
+    """CaNN — canopy clustering with nearest-neighbour counts."""
+
+    name = "CaNN"
+
+    def __init__(
+        self,
+        attributes: tuple[str, ...],
+        similarity: str = "tfidf",
+        n_canopy: int = 10,
+        n_remove: int = 5,
+        q: int = 2,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(attributes, similarity, q, seed)
+        if not 1 <= n_remove <= n_canopy:
+            raise ConfigurationError(
+                f"need 1 <= n_remove <= n_canopy, got {n_remove} / {n_canopy}"
+            )
+        self.n_canopy = n_canopy
+        self.n_remove = n_remove
+
+    def describe(self) -> str:
+        return (
+            f"CaNN(sim={self.similarity_name}, q={self.q}, "
+            f"n1={self.n_canopy}, n2={self.n_remove})"
+        )
+
+    def _groups(self, dataset: Dataset) -> list[list[str]]:
+        tokens_of, index, sim = self._prepare(dataset)
+        rng = rng_from_seed(self.seed, "canopy-nn", dataset.name)
+        pool = set(tokens_of)
+        groups: list[list[str]] = []
+        while pool:
+            seed_id = rng.choice(sorted(pool))
+            scored = sorted(
+                (
+                    (sim(seed_id, candidate), candidate)
+                    for candidate in self._candidates(seed_id, tokens_of, index, pool)
+                ),
+                reverse=True,
+            )
+            canopy = [seed_id] + [rid for _, rid in scored[: self.n_canopy]]
+            removed = {seed_id} | {rid for _, rid in scored[: self.n_remove]}
+            pool -= removed
+            groups.append(canopy)
+        return groups

@@ -1,0 +1,167 @@
+"""Registry of the survey techniques and the paper's parameter grids.
+
+The paper evaluates 163 parameter settings across the 12 survey
+techniques (§6.3.4): TBlo 1, SorA 5, SorII 5, ASor 8, QGr 4, CaTh 8,
+CaNN 8, StMT 32, StMNN 32, SuA 6, SuAS 6, RSuA 48. This module encodes
+exactly those grids, parameterised only by the blocking-key attributes,
+so benchmark code can sweep them and report each technique at its
+best-FM setting as the survey protocol requires.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator
+
+from repro.baselines.adaptive_sn import AdaptiveSortedNeighbourhood
+from repro.baselines.canopy import NearestNeighbourCanopy, ThresholdCanopy
+from repro.baselines.qgram_index import QGramBlocker
+from repro.baselines.sorted_neighbourhood import (
+    ArraySortedNeighbourhood,
+    InvertedIndexSortedNeighbourhood,
+)
+from repro.baselines.standard import StandardBlocker
+from repro.baselines.stringmap import StringMapNNBlocker, StringMapThresholdBlocker
+from repro.baselines.suffix_array import (
+    AllSubstringsBlocker,
+    RobustSuffixArrayBlocker,
+    SuffixArrayBlocker,
+)
+from repro.core.base import Blocker
+from repro.errors import ConfigurationError
+from repro.text.similarity import PAPER_COMPARATORS
+
+#: Display order of Table 3 / Fig. 11.
+TECHNIQUE_ORDER: tuple[str, ...] = (
+    "TBlo", "SorA", "SorII", "ASor", "QGr", "CaTh",
+    "CaNN", "StMT", "StMNN", "SuA", "SuAS", "RSuA",
+)
+
+_WINDOWS = (2, 3, 5, 7, 10)
+_THRESHOLDS = (0.8, 0.9)
+_QS = (2, 3)
+# (loose, tight) — §6.3.4: "thresholds were set to {0.95/0.85, 0.9/0.8}".
+_CANOPY_THRESHOLDS = ((0.85, 0.95), (0.8, 0.9))
+_CANOPY_NN = ((10, 5), (20, 10))  # (n_canopy, n_remove)
+_STM_THRESHOLDS = ((0.85, 0.95), (0.8, 0.9))  # (loose, tight)
+_GRIDS = (100, 1000)
+_DIMS = (15, 20)
+_SUFFIX_MIN = (3, 5)
+_SUFFIX_MAX = (5, 10, 20)
+
+
+def iter_parameter_grid(
+    technique: str, attributes: tuple[str, ...]
+) -> Iterator[Blocker]:
+    """Yield one configured blocker per paper parameter setting."""
+    if technique == "TBlo":
+        yield StandardBlocker(attributes)
+    elif technique == "SorA":
+        for window in _WINDOWS:
+            yield ArraySortedNeighbourhood(attributes, window=window)
+    elif technique == "SorII":
+        for window in _WINDOWS:
+            yield InvertedIndexSortedNeighbourhood(attributes, window=window)
+    elif technique == "ASor":
+        for similarity, threshold in product(PAPER_COMPARATORS, _THRESHOLDS):
+            yield AdaptiveSortedNeighbourhood(
+                attributes, similarity=similarity, threshold=threshold
+            )
+    elif technique == "QGr":
+        for q, threshold in product(_QS, _THRESHOLDS):
+            yield QGramBlocker(attributes, q=q, threshold=threshold)
+    elif technique == "CaTh":
+        for similarity, (loose, tight), q in product(
+            ("jaccard", "tfidf"), _CANOPY_THRESHOLDS, _QS
+        ):
+            yield ThresholdCanopy(
+                attributes, similarity=similarity, loose=loose, tight=tight, q=q
+            )
+    elif technique == "CaNN":
+        for similarity, (n_canopy, n_remove), q in product(
+            ("jaccard", "tfidf"), _CANOPY_NN, _QS
+        ):
+            yield NearestNeighbourCanopy(
+                attributes,
+                similarity=similarity,
+                n_canopy=n_canopy,
+                n_remove=n_remove,
+                q=q,
+            )
+    elif technique == "StMT":
+        for similarity, (loose, tight), grid, dim in product(
+            PAPER_COMPARATORS, _STM_THRESHOLDS, _GRIDS, _DIMS
+        ):
+            yield StringMapThresholdBlocker(
+                attributes,
+                similarity=similarity,
+                loose=loose,
+                tight=tight,
+                grid=grid,
+                dim=dim,
+            )
+    elif technique == "StMNN":
+        for similarity, (n_canopy, n_remove), grid, dim in product(
+            PAPER_COMPARATORS, _CANOPY_NN, _GRIDS, _DIMS
+        ):
+            yield StringMapNNBlocker(
+                attributes,
+                similarity=similarity,
+                n_canopy=n_canopy,
+                n_remove=n_remove,
+                grid=grid,
+                dim=dim,
+            )
+    elif technique == "SuA":
+        for min_length, max_block in product(_SUFFIX_MIN, _SUFFIX_MAX):
+            yield SuffixArrayBlocker(
+                attributes, min_length=min_length, max_block_size=max_block
+            )
+    elif technique == "SuAS":
+        for min_length, max_block in product(_SUFFIX_MIN, _SUFFIX_MAX):
+            yield AllSubstringsBlocker(
+                attributes, min_length=min_length, max_block_size=max_block
+            )
+    elif technique == "RSuA":
+        for similarity, threshold, min_length, max_block in product(
+            PAPER_COMPARATORS, _THRESHOLDS, _SUFFIX_MIN, _SUFFIX_MAX
+        ):
+            yield RobustSuffixArrayBlocker(
+                attributes,
+                similarity=similarity,
+                threshold=threshold,
+                min_length=min_length,
+                max_block_size=max_block,
+            )
+    else:
+        raise ConfigurationError(
+            f"unknown technique {technique!r}; known: {TECHNIQUE_ORDER}"
+        )
+
+
+def make_blockers(
+    attributes: tuple[str, ...],
+    techniques: tuple[str, ...] = TECHNIQUE_ORDER,
+    *,
+    max_settings: int | None = None,
+) -> dict[str, list[Blocker]]:
+    """Instantiate (a prefix of) each technique's grid.
+
+    ``max_settings`` truncates each grid — useful for quick runs; the
+    full grids reproduce the paper's 163 settings.
+    """
+    grids: dict[str, list[Blocker]] = {}
+    for technique in techniques:
+        blockers = list(iter_parameter_grid(technique, attributes))
+        if max_settings is not None:
+            blockers = blockers[:max_settings]
+        grids[technique] = blockers
+    return grids
+
+
+def paper_grid_sizes() -> dict[str, int]:
+    """The per-technique setting counts (sums to 163 as in §6.3.4)."""
+    return {
+        technique: sum(1 for _ in iter_parameter_grid(technique, ("key",)))
+        for technique in TECHNIQUE_ORDER
+    }

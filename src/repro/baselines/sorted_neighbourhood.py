@@ -1,0 +1,66 @@
+"""Sorted-neighbourhood blocking (SorA, SorII).
+
+* SorA (Hernández & Stolfo): sort the records by key and slide a fixed
+  window of ``window`` records; every window position is a block.
+* SorII (Christen): slide the window over the *distinct sorted key
+  values* of an inverted index, so frequent keys do not crowd the
+  window.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import KeyedBlocker
+from repro.errors import ConfigurationError
+from repro.records.dataset import Dataset
+
+
+class ArraySortedNeighbourhood(KeyedBlocker):
+    """SorA — sliding window over the sorted record array."""
+
+    name = "SorA"
+
+    def __init__(self, attributes: tuple[str, ...], window: int = 3) -> None:
+        super().__init__(attributes)
+        if window < 2:
+            raise ConfigurationError(f"window must be >= 2, got {window}")
+        self.window = window
+
+    def describe(self) -> str:
+        return f"SorA(window={self.window})"
+
+    def _groups(self, dataset: Dataset) -> list[list[str]]:
+        ordered = [record_id for _, record_id in self.sorted_keyed_records(dataset)]
+        if len(ordered) <= self.window:
+            return [ordered]
+        return [
+            ordered[i : i + self.window]
+            for i in range(len(ordered) - self.window + 1)
+        ]
+
+
+class InvertedIndexSortedNeighbourhood(KeyedBlocker):
+    """SorII — sliding window over distinct sorted key values."""
+
+    name = "SorII"
+
+    def __init__(self, attributes: tuple[str, ...], window: int = 3) -> None:
+        super().__init__(attributes)
+        if window < 2:
+            raise ConfigurationError(f"window must be >= 2, got {window}")
+        self.window = window
+
+    def describe(self) -> str:
+        return f"SorII(window={self.window})"
+
+    def _groups(self, dataset: Dataset) -> list[list[str]]:
+        index = self.key_index(dataset)
+        keys = sorted(index)
+        if not keys:
+            return []
+        if len(keys) <= self.window:
+            return [[rid for key in keys for rid in index[key]]]
+        groups = []
+        for i in range(len(keys) - self.window + 1):
+            window_keys = keys[i : i + self.window]
+            groups.append([rid for key in window_keys for rid in index[key]])
+        return groups

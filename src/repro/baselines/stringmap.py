@@ -1,0 +1,305 @@
+"""String-map blocking (StMT, StMNN) — Jin, Li & Mehrotra, DASFAA 2003.
+
+Blocking keys are embedded into a low-dimensional Euclidean space with a
+FastMap-style algorithm driven by a string distance (1 - similarity);
+similar strings land close together. Records are then grouped through a
+grid over the embedded space:
+
+* StMT keeps, per occupied cell neighbourhood, the records within a
+  loose/tight similarity of a canopy seed (threshold flavour);
+* StMNN keeps each seed's nearest neighbours (NN flavour).
+
+Grid lookups use the first ``GRID_DIMS`` coordinates only — scanning all
+3^dim neighbour cells of a 15-20 dimensional grid is infeasible, and the
+leading FastMap axes carry most of the variance (the survey's
+implementation relies on the same effect through its R-tree). Distances
+*within* a candidate neighbourhood use the full embedding.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.base import KeyedBlocker
+from repro.errors import ConfigurationError
+from repro.records.dataset import Dataset
+from repro.text.similarity import get_similarity
+from repro.utils.rand import rng_from_seed
+
+#: Number of leading embedding axes used for grid bucketing.
+GRID_DIMS = 2
+
+#: Sample size used when searching for distant pivot strings.
+_PIVOT_SAMPLE = 100
+
+
+class StringMapEmbedder:
+    """FastMap embedding of strings under an arbitrary distance.
+
+    Coordinates are produced one axis at a time from pivot pairs
+    (a_i, b_i); residual distances subtract the projections of earlier
+    axes, as in the original FastMap (Faloutsos & Lin, 1995).
+    """
+
+    def __init__(self, similarity: str, dim: int, seed: int = 0) -> None:
+        if dim < 1:
+            raise ConfigurationError(f"dim must be >= 1, got {dim}")
+        self.similarity_name = similarity
+        self._sim = get_similarity(similarity)
+        self.dim = dim
+        self.seed = seed
+        self._pivots: list[tuple[str, str, float]] = []
+        self._pivot_coords: list[tuple[np.ndarray, np.ndarray]] = []
+
+    def _distance(self, s1: str, s2: str) -> float:
+        return 1.0 - self._sim(s1, s2)
+
+    def _residual_sq(
+        self, s1: str, s2: str, c1: np.ndarray, c2: np.ndarray, axis: int
+    ) -> float:
+        """Squared distance after removing the first ``axis`` projections."""
+        d_sq = self._distance(s1, s2) ** 2
+        for j in range(axis):
+            d_sq -= (c1[j] - c2[j]) ** 2
+        return max(d_sq, 0.0)
+
+    def fit(self, strings: list[str]) -> "StringMapEmbedder":
+        """Choose pivot pairs from (a sample of) the given strings."""
+        unique = sorted(set(strings))
+        if not unique:
+            raise ConfigurationError("cannot fit embedder on no strings")
+        rng = rng_from_seed(self.seed, "stringmap", self.similarity_name, self.dim)
+        sample = unique if len(unique) <= _PIVOT_SAMPLE else rng.sample(unique, _PIVOT_SAMPLE)
+        coords = {s: np.zeros(self.dim) for s in sample}
+
+        for axis in range(self.dim):
+            # Farthest-pair heuristic on residual distances.
+            anchor = rng.choice(sample)
+            pivot_a = max(
+                sample,
+                key=lambda s: self._residual_sq(anchor, s, coords[anchor], coords[s], axis),
+            )
+            pivot_b = max(
+                sample,
+                key=lambda s: self._residual_sq(pivot_a, s, coords[pivot_a], coords[s], axis),
+            )
+            d_ab_sq = self._residual_sq(
+                pivot_a, pivot_b, coords[pivot_a], coords[pivot_b], axis
+            )
+            d_ab = math.sqrt(d_ab_sq)
+            self._pivots.append((pivot_a, pivot_b, d_ab))
+            self._pivot_coords.append(
+                (coords[pivot_a].copy(), coords[pivot_b].copy())
+            )
+            for s in sample:
+                coords[s][axis] = self._project(
+                    s, coords[s], axis, pivot_a, pivot_b, d_ab
+                )
+        return self
+
+    def _project(
+        self,
+        s: str,
+        partial: np.ndarray,
+        axis: int,
+        pivot_a: str,
+        pivot_b: str,
+        d_ab: float,
+    ) -> float:
+        if d_ab <= 0.0:
+            return 0.0
+        ca, cb = self._pivot_coords[axis]
+        d_sa_sq = self._residual_sq(s, pivot_a, partial, ca, axis)
+        d_sb_sq = self._residual_sq(s, pivot_b, partial, cb, axis)
+        return (d_sa_sq + d_ab**2 - d_sb_sq) / (2.0 * d_ab)
+
+    def transform(self, s: str) -> np.ndarray:
+        """Embed one string (requires :meth:`fit`)."""
+        if not self._pivots:
+            raise ConfigurationError("StringMapEmbedder.transform before fit")
+        point = np.zeros(self.dim)
+        for axis, (pivot_a, pivot_b, d_ab) in enumerate(self._pivots):
+            point[axis] = self._project(s, point, axis, pivot_a, pivot_b, d_ab)
+        return point
+
+
+class _StringMapBase(KeyedBlocker):
+    """Shared embedding + grid bucketing for both string-map blockers."""
+
+    #: Keys are truncated to this many characters before embedding;
+    #: quadratic string distances over full author+title keys would
+    #: dominate the runtime (survey implementations bound BKV length
+    #: the same way).
+    max_key_length = 24
+
+    def __init__(
+        self,
+        attributes: tuple[str, ...],
+        similarity: str = "edit",
+        dim: int = 15,
+        grid: int = 100,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(attributes)
+        if grid < 1:
+            raise ConfigurationError(f"grid must be >= 1, got {grid}")
+        self.similarity_name = similarity
+        self.dim = dim
+        self.grid = grid
+        self.seed = seed
+
+    def _embed(self, dataset: Dataset):
+        keys = {
+            r.record_id: self.key(r)[: self.max_key_length] for r in dataset
+        }
+        embedder = StringMapEmbedder(self.similarity_name, self.dim, self.seed)
+        embedder.fit(list(keys.values()))
+        points = {rid: embedder.transform(key) for rid, key in keys.items()}
+        return points
+
+    def _grid_cells(self, points: dict[str, np.ndarray]):
+        """Bucket records by their cell on the first GRID_DIMS axes."""
+        if not points:
+            return {}, 0.0
+        matrix = np.stack(list(points.values()))
+        lo = matrix.min(axis=0)
+        hi = matrix.max(axis=0)
+        span = float(max((hi - lo)[:GRID_DIMS].max(), 1e-12))
+        cell_width = span / self.grid
+        cells: dict[tuple[int, ...], list[str]] = {}
+        for rid, point in points.items():
+            cell = tuple(
+                int((point[d] - lo[d]) / cell_width) for d in range(min(GRID_DIMS, self.dim))
+            )
+            cells.setdefault(cell, []).append(rid)
+        return cells, cell_width
+
+    @staticmethod
+    def _neighbour_cells(cell: tuple[int, ...]):
+        """The 3^GRID_DIMS cells around (and including) ``cell``."""
+        if len(cell) == 1:
+            return [(cell[0] + dx,) for dx in (-1, 0, 1)]
+        return [
+            (cell[0] + dx, cell[1] + dy)
+            for dx in (-1, 0, 1)
+            for dy in (-1, 0, 1)
+        ]
+
+
+class StringMapThresholdBlocker(_StringMapBase):
+    """StMT — canopy-style loose/tight grouping in the embedded space."""
+
+    name = "StMT"
+
+    def __init__(
+        self,
+        attributes: tuple[str, ...],
+        similarity: str = "edit",
+        loose: float = 0.8,
+        tight: float = 0.9,
+        dim: int = 15,
+        grid: int = 100,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(attributes, similarity, dim, grid, seed)
+        if not 0.0 < loose <= tight <= 1.0:
+            raise ConfigurationError(
+                f"need 0 < loose <= tight <= 1, got loose={loose}, tight={tight}"
+            )
+        self.loose = loose
+        self.tight = tight
+
+    def describe(self) -> str:
+        return (
+            f"StMT(sim={self.similarity_name}, loose={self.loose}, "
+            f"tight={self.tight}, grid={self.grid}, dim={self.dim})"
+        )
+
+    def _groups(self, dataset: Dataset) -> list[list[str]]:
+        points = self._embed(dataset)
+        cells, _ = self._grid_cells(points)
+        cell_of = {
+            rid: cell for cell, members in cells.items() for rid in members
+        }
+        rng = rng_from_seed(self.seed, "stmt", dataset.name)
+        # Embedded distances corresponding to the similarity thresholds.
+        loose_dist = 1.0 - self.loose
+        tight_dist = 1.0 - self.tight
+        pool = set(points)
+        groups: list[list[str]] = []
+        while pool:
+            seed_id = rng.choice(sorted(pool))
+            seed_point = points[seed_id]
+            canopy = [seed_id]
+            removed = {seed_id}
+            for cell in self._neighbour_cells(cell_of[seed_id]):
+                for candidate in cells.get(cell, ()):
+                    if candidate == seed_id or candidate not in pool:
+                        continue
+                    distance = float(np.linalg.norm(points[candidate] - seed_point))
+                    if distance <= loose_dist:
+                        canopy.append(candidate)
+                        if distance <= tight_dist:
+                            removed.add(candidate)
+            pool -= removed
+            groups.append(canopy)
+        return groups
+
+
+class StringMapNNBlocker(_StringMapBase):
+    """StMNN — nearest-neighbour grouping in the embedded space."""
+
+    name = "StMNN"
+
+    def __init__(
+        self,
+        attributes: tuple[str, ...],
+        similarity: str = "edit",
+        n_canopy: int = 10,
+        n_remove: int = 5,
+        dim: int = 15,
+        grid: int = 100,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(attributes, similarity, dim, grid, seed)
+        if not 1 <= n_remove <= n_canopy:
+            raise ConfigurationError(
+                f"need 1 <= n_remove <= n_canopy, got {n_remove} / {n_canopy}"
+            )
+        self.n_canopy = n_canopy
+        self.n_remove = n_remove
+
+    def describe(self) -> str:
+        return (
+            f"StMNN(sim={self.similarity_name}, n1={self.n_canopy}, "
+            f"n2={self.n_remove}, grid={self.grid}, dim={self.dim})"
+        )
+
+    def _groups(self, dataset: Dataset) -> list[list[str]]:
+        points = self._embed(dataset)
+        cells, _ = self._grid_cells(points)
+        cell_of = {
+            rid: cell for cell, members in cells.items() for rid in members
+        }
+        rng = rng_from_seed(self.seed, "stmnn", dataset.name)
+        pool = set(points)
+        groups: list[list[str]] = []
+        while pool:
+            seed_id = rng.choice(sorted(pool))
+            seed_point = points[seed_id]
+            scored: list[tuple[float, str]] = []
+            for cell in self._neighbour_cells(cell_of[seed_id]):
+                for candidate in cells.get(cell, ()):
+                    if candidate == seed_id or candidate not in pool:
+                        continue
+                    scored.append(
+                        (float(np.linalg.norm(points[candidate] - seed_point)), candidate)
+                    )
+            scored.sort()
+            canopy = [seed_id] + [rid for _, rid in scored[: self.n_canopy]]
+            removed = {seed_id} | {rid for _, rid in scored[: self.n_remove]}
+            pool -= removed
+            groups.append(canopy)
+        return groups

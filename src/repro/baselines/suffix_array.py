@@ -1,0 +1,125 @@
+"""Suffix-array blocking (SuA, SuAS, RSuA).
+
+* SuA (Aizawa & Oyama, 2005): every suffix of the blocking key with at
+  least ``min_length`` characters indexes the record; buckets larger
+  than ``max_block_size`` are dropped (they are too common to be
+  discriminative).
+* SuAS: like SuA but with *all substrings* of at least ``min_length``.
+* RSuA (de Vries et al., CIKM 2009): robust variant that merges
+  alphabetically adjacent suffixes whose string similarity reaches a
+  threshold, so typos near the front of a suffix do not split matches.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import KeyedBlocker
+from repro.errors import ConfigurationError
+from repro.records.dataset import Dataset
+from repro.text.similarity import get_similarity
+
+
+class SuffixArrayBlocker(KeyedBlocker):
+    """SuA — suffix-array based blocking."""
+
+    name = "SuA"
+
+    def __init__(
+        self,
+        attributes: tuple[str, ...],
+        min_length: int = 3,
+        max_block_size: int = 10,
+    ) -> None:
+        super().__init__(attributes)
+        if min_length < 1:
+            raise ConfigurationError(f"min_length must be >= 1, got {min_length}")
+        if max_block_size < 2:
+            raise ConfigurationError(
+                f"max_block_size must be >= 2, got {max_block_size}"
+            )
+        self.min_length = min_length
+        self.max_block_size = max_block_size
+
+    def describe(self) -> str:
+        return f"{self.name}(min_len={self.min_length}, max_block={self.max_block_size})"
+
+    def _variants(self, key: str) -> set[str]:
+        compact = key.replace(" ", "")
+        return {
+            compact[i:]
+            for i in range(len(compact) - self.min_length + 1)
+        } if len(compact) >= self.min_length else ({compact} if compact else set())
+
+    def _suffix_index(self, dataset: Dataset) -> dict[str, list[str]]:
+        index: dict[str, list[str]] = {}
+        for record in dataset:
+            for variant in self._variants(self.key(record)):
+                index.setdefault(variant, []).append(record.record_id)
+        return index
+
+    def _groups(self, dataset: Dataset) -> list[list[str]]:
+        return [
+            members
+            for members in self._suffix_index(dataset).values()
+            if len(members) <= self.max_block_size
+        ]
+
+
+class AllSubstringsBlocker(SuffixArrayBlocker):
+    """SuAS — suffix arrays over all substrings of the key."""
+
+    name = "SuAS"
+
+    def _variants(self, key: str) -> set[str]:
+        compact = key.replace(" ", "")
+        if len(compact) < self.min_length:
+            return {compact} if compact else set()
+        return {
+            compact[i : i + length]
+            for i in range(len(compact))
+            for length in range(self.min_length, len(compact) - i + 1)
+        }
+
+
+class RobustSuffixArrayBlocker(SuffixArrayBlocker):
+    """RSuA — suffix arrays with similarity-merged adjacent suffixes."""
+
+    name = "RSuA"
+
+    def __init__(
+        self,
+        attributes: tuple[str, ...],
+        similarity: str = "jaro_winkler",
+        threshold: float = 0.9,
+        min_length: int = 3,
+        max_block_size: int = 10,
+    ) -> None:
+        super().__init__(attributes, min_length, max_block_size)
+        if not 0.0 < threshold <= 1.0:
+            raise ConfigurationError(f"threshold must be in (0, 1], got {threshold}")
+        self.similarity_name = similarity
+        self.similarity = get_similarity(similarity)
+        self.threshold = threshold
+
+    def describe(self) -> str:
+        return (
+            f"RSuA(sim={self.similarity_name}, t={self.threshold}, "
+            f"min_len={self.min_length}, max_block={self.max_block_size})"
+        )
+
+    def _groups(self, dataset: Dataset) -> list[list[str]]:
+        index = self._suffix_index(dataset)
+        suffixes = sorted(index)
+        groups: list[list[str]] = []
+        current_members: list[str] = []
+        previous: str | None = None
+        for suffix in suffixes:
+            if previous is not None and self.similarity(previous, suffix) >= self.threshold:
+                current_members.extend(index[suffix])
+            else:
+                if current_members:
+                    groups.append(current_members)
+                current_members = list(index[suffix])
+            previous = suffix
+        if current_members:
+            groups.append(current_members)
+        return [g for g in groups if len(g) <= self.max_block_size]

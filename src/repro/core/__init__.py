@@ -1,0 +1,41 @@
+"""The paper's primary contribution: LSH and semantic-aware LSH blocking."""
+
+from repro.core.base import Blocker, BlockingResult
+from repro.core.lsh_blocker import LSHBlocker
+from repro.core.salsh_blocker import SALSHBlocker
+from repro.core.lsh_variants import LSHForestBlocker, MultiProbeLSHBlocker
+from repro.core.pipeline import PipelineConfig, PipelineReport, run_pipeline
+from repro.core.tuning import (
+    TunedParameters,
+    determine_kl,
+    determine_sh,
+    kl_ladder,
+    required_tables,
+)
+from repro.core.robustness import (
+    SimilarityBin,
+    classify_region,
+    estimate_gamma,
+    match_probability_curve,
+)
+
+__all__ = [
+    "Blocker",
+    "BlockingResult",
+    "LSHBlocker",
+    "SALSHBlocker",
+    "MultiProbeLSHBlocker",
+    "LSHForestBlocker",
+    "PipelineConfig",
+    "PipelineReport",
+    "run_pipeline",
+    "TunedParameters",
+    "determine_sh",
+    "determine_kl",
+    "kl_ladder",
+    "required_tables",
+    "SimilarityBin",
+    "match_probability_curve",
+    "estimate_gamma",
+    "classify_region",
+]

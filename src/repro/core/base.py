@@ -1,0 +1,98 @@
+"""Blocker interface and the :class:`BlockingResult` value type."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Any, Mapping, Sequence
+
+from repro.records.dataset import Dataset
+from repro.records.ground_truth import Pair, sorted_pair
+
+Block = tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class BlockingResult:
+    """Blocks produced by a blocker over one dataset.
+
+    Attributes
+    ----------
+    blocker_name:
+        Name of the technique that produced the blocks.
+    blocks:
+        Possibly overlapping groups of record ids (each of size >= 2;
+        singleton blocks carry no candidate pairs and are dropped).
+    seconds:
+        Wall-clock blocking time when measured by a runner, else None.
+    metadata:
+        Free-form diagnostics (parameters, sub-timings such as the
+        semantic-function build time of Fig. 13).
+    """
+
+    blocker_name: str
+    blocks: tuple[Block, ...]
+    seconds: float | None = None
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    @cached_property
+    def distinct_pairs(self) -> frozenset[Pair]:
+        """Γ — distinct candidate pairs across all blocks."""
+        pairs: set[Pair] = set()
+        for block in self.blocks:
+            for i, first in enumerate(block):
+                for second in block[i + 1 :]:
+                    if first != second:
+                        pairs.add(sorted_pair(first, second))
+        return frozenset(pairs)
+
+    @property
+    def num_multiset_comparisons(self) -> int:
+        """|Γm| — pair comparisons counted per block (with redundancy)."""
+        return sum(len(b) * (len(b) - 1) // 2 for b in self.blocks)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def max_block_size(self) -> int:
+        return max((len(b) for b in self.blocks), default=0)
+
+    def record_block_ids(self) -> dict[str, list[int]]:
+        """Record id -> indices of blocks containing it (meta-blocking)."""
+        assignment: dict[str, list[int]] = {}
+        for index, block in enumerate(self.blocks):
+            for record_id in set(block):
+                assignment.setdefault(record_id, []).append(index)
+        return assignment
+
+    def with_timing(self, seconds: float) -> "BlockingResult":
+        """Copy of the result annotated with a wall-clock time."""
+        return BlockingResult(
+            blocker_name=self.blocker_name,
+            blocks=self.blocks,
+            seconds=seconds,
+            metadata=self.metadata,
+        )
+
+
+def make_blocks(groups: Sequence[Sequence[str]]) -> tuple[Block, ...]:
+    """Normalise raw groups: drop singletons, freeze to tuples."""
+    return tuple(tuple(g) for g in groups if len(g) >= 2)
+
+
+class Blocker(ABC):
+    """Base class of every blocking technique in the library."""
+
+    #: Short display name used in result tables (overridden by subclasses).
+    name: str = "blocker"
+
+    @abstractmethod
+    def block(self, dataset: Dataset) -> BlockingResult:
+        """Group the dataset's records into candidate blocks."""
+
+    def describe(self) -> str:
+        """One-line parameter description for reports."""
+        return self.name

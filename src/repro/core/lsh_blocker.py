@@ -1,0 +1,78 @@
+"""Textual-only LSH blocking (the paper's "LSH" baseline).
+
+Pipeline (§5.1): shingle each record's blocking attributes into q-grams,
+minhash into a k*l signature, band into l hash tables of k rows, and
+emit every bucket with at least two records as a block.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.base import Blocker, BlockingResult, make_blocks
+from repro.errors import ConfigurationError
+from repro.lsh.bands import split_bands
+from repro.lsh.index import BandedLSHIndex
+from repro.minhash.minhash import MinHasher
+from repro.minhash.shingling import Shingler
+from repro.records.dataset import Dataset
+
+
+class LSHBlocker(Blocker):
+    """Banded minhash LSH over textual similarity only.
+
+    Parameters
+    ----------
+    attributes:
+        Attributes shingled into the textual representation.
+    q:
+        q-gram length (None for whole-value shingles).
+    k:
+        Minhash functions per hash table (rows per band).
+    l:
+        Number of hash tables (bands).
+    seed:
+        Seed for the minhash permutations.
+    padded:
+        Pad values before q-gram extraction.
+    """
+
+    def __init__(
+        self,
+        attributes: tuple[str, ...],
+        q: int | None,
+        k: int,
+        l: int,
+        *,
+        seed: int = 0,
+        padded: bool = False,
+        name: str | None = None,
+    ) -> None:
+        if k < 1 or l < 1:
+            raise ConfigurationError(f"k and l must be >= 1, got k={k}, l={l}")
+        self.attributes = tuple(attributes)
+        self.q = q
+        self.k = k
+        self.l = l
+        self.seed = seed
+        self.shingler = Shingler(self.attributes, q=q, padded=padded)
+        self.hasher = MinHasher(num_hashes=k * l, seed=seed)
+        self.name = name or "LSH"
+
+    def describe(self) -> str:
+        return f"{self.name}(q={self.q}, k={self.k}, l={self.l})"
+
+    def block(self, dataset: Dataset) -> BlockingResult:
+        start = time.perf_counter()
+        index = BandedLSHIndex(self.l)
+        for record in dataset:
+            signature = self.hasher.signature(self.shingler.shingle_ids(record))
+            index.add(record.record_id, split_bands(signature, self.k, self.l))
+        blocks = make_blocks(index.blocks())
+        elapsed = time.perf_counter() - start
+        return BlockingResult(
+            blocker_name=self.name,
+            blocks=blocks,
+            seconds=elapsed,
+            metadata={"k": self.k, "l": self.l, "q": self.q},
+        )

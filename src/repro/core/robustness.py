@@ -1,0 +1,110 @@
+"""γ-robustness of similarity metrics (paper §3, Eq. 1).
+
+A similarity metric is γ-robust when, for any two record pairs whose
+similarity difference exceeds 1-γ, the more similar pair is more likely
+to be a true match. Robustness is estimated empirically from labelled
+pairs: bin the similarities, compute the match probability per bin, and
+find the largest γ for which bins separated by more than 1-γ are
+probability-ordered.
+
+The §3 region model (high / uncertain / low by distance thresholds
+``dh < dl``) is provided by :func:`classify_region`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class SimilarityBin:
+    """One bin of the empirical match-probability curve."""
+
+    lo: float
+    hi: float
+    count: int
+    matches: int
+
+    @property
+    def midpoint(self) -> float:
+        return (self.lo + self.hi) / 2.0
+
+    @property
+    def match_probability(self) -> float:
+        return self.matches / self.count if self.count else 0.0
+
+
+def match_probability_curve(
+    labelled_similarities: Iterable[tuple[float, bool]],
+    *,
+    num_bins: int = 10,
+) -> list[SimilarityBin]:
+    """Empirical Pr[e(r1)=e(r2) | sim] over equal-width bins.
+
+    Parameters
+    ----------
+    labelled_similarities:
+        (similarity, is_true_match) samples with similarity in [0, 1].
+    num_bins:
+        Number of equal-width bins over [0, 1].
+    """
+    if num_bins < 1:
+        raise EvaluationError(f"num_bins must be >= 1, got {num_bins}")
+    counts = [0] * num_bins
+    matches = [0] * num_bins
+    for similarity, is_match in labelled_similarities:
+        if not 0.0 <= similarity <= 1.0:
+            raise EvaluationError(
+                f"similarity out of range [0, 1]: {similarity}"
+            )
+        index = min(int(similarity * num_bins), num_bins - 1)
+        counts[index] += 1
+        if is_match:
+            matches[index] += 1
+    width = 1.0 / num_bins
+    return [
+        SimilarityBin(lo=i * width, hi=(i + 1) * width, count=counts[i], matches=matches[i])
+        for i in range(num_bins)
+    ]
+
+
+def estimate_gamma(
+    curve: Sequence[SimilarityBin],
+    *,
+    tolerance: float = 0.0,
+    min_count: int = 1,
+) -> float:
+    """Largest γ such that the metric is γ-robust on the given curve.
+
+    For every pair of (sufficiently populated) bins where the
+    higher-similarity bin has a *lower* match probability (beyond
+    ``tolerance``), monotonicity fails at separation Δ = mid_hi -
+    mid_lo; γ-robustness then requires 1-γ > Δ for all violations, i.e.
+    γ = 1 - max violating Δ. With no violations γ = 1.
+    """
+    populated = [b for b in curve if b.count >= min_count]
+    worst_violation = 0.0
+    for i, low_bin in enumerate(populated):
+        for high_bin in populated[i + 1 :]:
+            if high_bin.match_probability + tolerance < low_bin.match_probability:
+                separation = high_bin.midpoint - low_bin.midpoint
+                worst_violation = max(worst_violation, separation)
+    return 1.0 - worst_violation
+
+
+def classify_region(distance: float, dh: float, dl: float) -> str:
+    """Classify a record distance into the §3 regions.
+
+    ``dh`` bounds the high region, ``dl`` the low region; distances in
+    (dh, dl] are uncertain. Requires dh <= dl.
+    """
+    if not 0.0 <= dh <= dl <= 1.0:
+        raise EvaluationError(f"need 0 <= dh <= dl <= 1, got dh={dh}, dl={dl}")
+    if distance <= dh:
+        return "high"
+    if distance > dl:
+        return "low"
+    return "uncertain"

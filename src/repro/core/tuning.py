@@ -1,0 +1,132 @@
+"""Parameter tuning for (SA-)LSH blocking (paper §5.3).
+
+Given the textual-similarity distribution of true matches in a training
+sample:
+
+1. ``sh`` is the ε-quantile of the distribution — the similarity below
+   which at most an ε fraction of true matches fall.
+2. ``sl`` is chosen below ``sh`` as the boundary of the low region.
+3. ``k`` and ``l`` follow from the banded collision model: at ``sh`` the
+   collision probability must be at least ``ph``; at ``sl`` at most
+   ``pl``. For each k, ``l >= ln(1-ph)/ln(1-sh^k)`` and
+   ``l <= ln(1-pl)/ln(1-sl^k)``; the smallest feasible k wins.
+
+With the paper's Cora inputs (sh=0.3, ph=0.4, sl=0.2, pl=0.1) this
+module reproduces the exact ladder l = 2, 6, 19, 63, 210, 701 for
+k = 1..6 and selects (k=4, l=63).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TunedParameters:
+    """Outcome of parameter tuning."""
+
+    sh: float
+    sl: float
+    ph: float
+    pl: float
+    k: int
+    l: int
+
+
+def determine_sh(similarities: Sequence[float], epsilon: float) -> float:
+    """The similarity threshold ``sh`` for a desired error ratio ε.
+
+    ``sh`` is the value such that the fraction of true-match
+    similarities below it is at most ε (the empirical ε-quantile):
+    blocking may lose up to an ε share of true matches whose similarity
+    falls under ``sh``.
+    """
+    if not similarities:
+        raise ConfigurationError("need at least one training similarity")
+    if not 0.0 <= epsilon < 1.0:
+        raise ConfigurationError(f"epsilon must be in [0, 1), got {epsilon}")
+    ordered = sorted(similarities)
+    # Largest index such that (index / n) <= epsilon.
+    cutoff = int(epsilon * len(ordered))
+    cutoff = min(cutoff, len(ordered) - 1)
+    return ordered[cutoff]
+
+
+def required_tables(s: float, k: int, p: float) -> int:
+    """Minimum l with banded collision probability >= p at similarity s.
+
+    >>> required_tables(0.3, 4, 0.4)
+    63
+    """
+    if not 0.0 < s <= 1.0:
+        raise ConfigurationError(f"s must be in (0, 1], got {s}")
+    if not 0.0 < p < 1.0:
+        raise ConfigurationError(f"p must be in (0, 1), got {p}")
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    s_k = s**k
+    if s_k >= 1.0:
+        return 1
+    return math.ceil(math.log(1.0 - p) / math.log(1.0 - s_k))
+
+
+def allowed_tables(s: float, k: int, p: float) -> float:
+    """Maximum l with banded collision probability <= p at similarity s.
+
+    Returns ``math.inf`` when even infinitely many tables stay below p
+    (impossible for s > 0, so only when s == 0).
+    """
+    if not 0.0 <= s <= 1.0:
+        raise ConfigurationError(f"s must be in [0, 1], got {s}")
+    if not 0.0 < p < 1.0:
+        raise ConfigurationError(f"p must be in (0, 1), got {p}")
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    s_k = s**k
+    if s_k <= 0.0:
+        return math.inf
+    if s_k >= 1.0:
+        return 0.0
+    return math.floor(math.log(1.0 - p) / math.log(1.0 - s_k))
+
+
+def determine_kl(
+    sh: float,
+    sl: float,
+    ph: float,
+    pl: float,
+    *,
+    max_k: int = 32,
+) -> TunedParameters:
+    """Choose the smallest k (and its minimal l) meeting both constraints.
+
+    >>> params = determine_kl(0.3, 0.2, 0.4, 0.1)
+    >>> (params.k, params.l)
+    (4, 63)
+    """
+    if not 0.0 <= sl < sh <= 1.0:
+        raise ConfigurationError(
+            f"need 0 <= sl < sh <= 1, got sl={sl}, sh={sh}"
+        )
+    for k in range(1, max_k + 1):
+        lower = required_tables(sh, k, ph)
+        upper = allowed_tables(sl, k, pl)
+        if lower <= upper:
+            return TunedParameters(sh=sh, sl=sl, ph=ph, pl=pl, k=k, l=lower)
+    raise ConfigurationError(
+        f"no feasible (k, l) for sh={sh}, sl={sl}, ph={ph}, pl={pl} "
+        f"with k <= {max_k}"
+    )
+
+
+def kl_ladder(sh: float, ph: float, ks: Iterable[int]) -> list[tuple[int, int]]:
+    """(k, l) pairs with minimal l reaching ph at sh, for each k.
+
+    This is the ladder of Fig. 6 / Fig. 9: with sh=0.3, ph=0.4 it yields
+    [(1, 2), (2, 6), (3, 19), (4, 63), (5, 210), (6, 701)].
+    """
+    return [(k, required_tables(sh, k, ph)) for k in ks]

@@ -1,0 +1,23 @@
+"""Synthetic datasets standing in for Cora and NC Voter.
+
+The paper evaluates on the Cora bibliography (1,879 records) and the
+North Carolina voter registry (292,892 records). Neither is shipped
+here, so seeded generators produce corpora with the properties the
+experiments depend on (see DESIGN.md "Substitutions"): Cora-like data is
+dirty and heavily duplicated with venue-driven missing-value patterns;
+NC-Voter-like data is large, relatively clean, with uncertain race and
+gender values.
+"""
+
+from repro.datasets.corruption import Corruptor
+from repro.datasets.cora import CoraLikeGenerator
+from repro.datasets.ncvoter import NCVoterLikeGenerator
+from repro.datasets.fig1 import fig1_dataset, fig1_semantic_function
+
+__all__ = [
+    "Corruptor",
+    "CoraLikeGenerator",
+    "NCVoterLikeGenerator",
+    "fig1_dataset",
+    "fig1_semantic_function",
+]

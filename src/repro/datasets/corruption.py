@@ -1,0 +1,158 @@
+"""Data corruption engine for synthetic duplicate generation.
+
+Implements the error channels real dirty data exhibits — keyboard
+typos, OCR confusions, token drops/swaps, abbreviation, missing values —
+in the style of GeCo (Christen & Vatsalan, 2013), which produced the
+survey's synthetic corpora. Every operation draws from an explicit RNG
+so whole corpora regenerate byte-identically from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+#: Keyboard adjacency (qwerty) for realistic substitution typos.
+_KEYBOARD_NEIGHBOURS: dict[str, str] = {
+    "a": "qwsz", "b": "vghn", "c": "xdfv", "d": "serfcx", "e": "wsdr",
+    "f": "drtgvc", "g": "ftyhbv", "h": "gyujnb", "i": "ujko", "j": "huikmn",
+    "k": "jiolm", "l": "kop", "m": "njk", "n": "bhjm", "o": "iklp",
+    "p": "ol", "q": "wa", "r": "edft", "s": "awedxz", "t": "rfgy",
+    "u": "yhji", "v": "cfgb", "w": "qase", "x": "zsdc", "y": "tghu",
+    "z": "asx",
+}
+
+#: OCR confusion pairs (source -> lookalike).
+_OCR_CONFUSIONS: list[tuple[str, str]] = [
+    ("m", "rn"), ("w", "vv"), ("d", "cl"), ("0", "o"), ("1", "l"),
+    ("5", "s"), ("8", "b"), ("g", "q"), ("e", "c"),
+]
+
+
+class Corruptor:
+    """Applies randomised corruption operations to strings.
+
+    Parameters
+    ----------
+    rng:
+        The random stream; pass a dedicated :class:`random.Random` so
+        corruption is reproducible and independent of other components.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+
+    # -- character-level -------------------------------------------------------
+
+    def typo_insert(self, text: str) -> str:
+        """Insert one random lowercase letter."""
+        position = self._rng.randrange(len(text) + 1)
+        letter = self._rng.choice(string.ascii_lowercase)
+        return text[:position] + letter + text[position:]
+
+    def typo_delete(self, text: str) -> str:
+        """Delete one character (no-op on empty strings)."""
+        if not text:
+            return text
+        position = self._rng.randrange(len(text))
+        return text[:position] + text[position + 1 :]
+
+    def typo_substitute(self, text: str) -> str:
+        """Replace one character with a keyboard neighbour."""
+        if not text:
+            return text
+        position = self._rng.randrange(len(text))
+        original = text[position].lower()
+        neighbours = _KEYBOARD_NEIGHBOURS.get(original)
+        if not neighbours:
+            return text
+        replacement = self._rng.choice(neighbours)
+        return text[:position] + replacement + text[position + 1 :]
+
+    def typo_transpose(self, text: str) -> str:
+        """Swap two adjacent characters."""
+        if len(text) < 2:
+            return text
+        position = self._rng.randrange(len(text) - 1)
+        return (
+            text[:position]
+            + text[position + 1]
+            + text[position]
+            + text[position + 2 :]
+        )
+
+    def ocr_error(self, text: str) -> str:
+        """Apply one OCR confusion if any source pattern occurs."""
+        candidates = [(src, dst) for src, dst in _OCR_CONFUSIONS if src in text]
+        if not candidates:
+            return text
+        src, dst = self._rng.choice(candidates)
+        return text.replace(src, dst, 1)
+
+    def character_noise(self, text: str, num_errors: int = 1) -> str:
+        """Apply ``num_errors`` random character-level operations."""
+        operations = (
+            self.typo_insert,
+            self.typo_delete,
+            self.typo_substitute,
+            self.typo_transpose,
+        )
+        for _ in range(num_errors):
+            text = self._rng.choice(operations)(text)
+        return text
+
+    # -- token-level -----------------------------------------------------------
+
+    def drop_token(self, text: str) -> str:
+        """Remove one whitespace-delimited token (keeps at least one)."""
+        tokens = text.split()
+        if len(tokens) < 2:
+            return text
+        tokens.pop(self._rng.randrange(len(tokens)))
+        return " ".join(tokens)
+
+    def swap_tokens(self, text: str) -> str:
+        """Swap two adjacent tokens (e.g. "Qing Wang" -> "Wang Qing")."""
+        tokens = text.split()
+        if len(tokens) < 2:
+            return text
+        position = self._rng.randrange(len(tokens) - 1)
+        tokens[position], tokens[position + 1] = (
+            tokens[position + 1],
+            tokens[position],
+        )
+        return " ".join(tokens)
+
+    def abbreviate_token(self, text: str) -> str:
+        """Truncate one token to its initial plus a period."""
+        tokens = text.split()
+        candidates = [i for i, t in enumerate(tokens) if len(t) > 2]
+        if not candidates:
+            return text
+        index = self._rng.choice(candidates)
+        tokens[index] = tokens[index][0] + "."
+        return " ".join(tokens)
+
+    # -- convenience -----------------------------------------------------------
+
+    def maybe(self, probability: float) -> bool:
+        """Biased coin flip on this corruptor's stream."""
+        return self._rng.random() < probability
+
+    def corrupt_name(self, name: str, *, errors: int = 1) -> str:
+        """Name-flavoured corruption: typo, abbreviation or token swap."""
+        roll = self._rng.random()
+        if roll < 0.6:
+            return self.character_noise(name, errors)
+        if roll < 0.8:
+            return self.abbreviate_token(name)
+        return self.swap_tokens(name)
+
+    def corrupt_title(self, title: str, *, errors: int = 1) -> str:
+        """Title-flavoured corruption: typos, word drops, OCR noise."""
+        roll = self._rng.random()
+        if roll < 0.55:
+            return self.character_noise(title, errors)
+        if roll < 0.8:
+            return self.drop_token(title)
+        return self.ocr_error(title)

@@ -1,0 +1,145 @@
+"""Word pools for the synthetic generators.
+
+Separate module so tests and both generators share the same vocabulary
+without importing each other.
+"""
+
+from __future__ import annotations
+
+#: Machine-learning flavoured title vocabulary (Cora is an ML corpus).
+TITLE_WORDS: tuple[str, ...] = (
+    "learning", "neural", "network", "networks", "cascade", "correlation",
+    "architecture", "genetic", "algorithm", "algorithms", "bayesian",
+    "inference", "markov", "models", "hidden", "reinforcement", "gradient",
+    "descent", "stochastic", "optimization", "classification", "clustering",
+    "regression", "kernel", "methods", "support", "vector", "machines",
+    "decision", "trees", "boosting", "bagging", "ensemble", "feature",
+    "selection", "extraction", "dimensionality", "reduction", "principal",
+    "component", "analysis", "recognition", "speech", "vision", "image",
+    "probabilistic", "graphical", "temporal", "sequence", "prediction",
+    "adaptive", "control", "dynamic", "programming", "search", "heuristic",
+    "knowledge", "representation", "reasoning", "planning", "scheduling",
+    "evolutionary", "computation", "swarm", "annealing", "entropy",
+    "information", "theory", "coding", "compression", "sampling",
+    "approximation", "convergence", "stability", "generalization",
+    "regularization", "sparse", "latent", "variable", "mixture", "experts",
+)
+
+#: Author name pools.
+AUTHOR_FIRST: tuple[str, ...] = (
+    "scott", "christian", "michael", "david", "john", "robert", "richard",
+    "thomas", "charles", "daniel", "matthew", "donald", "mark", "paul",
+    "steven", "andrew", "kenneth", "george", "joshua", "kevin", "brian",
+    "edward", "ronald", "anthony", "mary", "patricia", "jennifer", "linda",
+    "elizabeth", "barbara", "susan", "jessica", "sarah", "karen", "nancy",
+    "lisa", "margaret", "betty", "sandra", "ashley", "emily", "michelle",
+    "carol", "amanda", "dorothy", "melissa", "deborah", "stephanie",
+    "rebecca", "sharon", "qing", "mingyuan", "huizhi", "wei", "juan",
+)
+
+AUTHOR_LAST: tuple[str, ...] = (
+    "fahlman", "lebiere", "smith", "johnson", "williams", "brown", "jones",
+    "garcia", "miller", "davis", "rodriguez", "martinez", "hernandez",
+    "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor", "moore",
+    "jackson", "martin", "lee", "perez", "thompson", "white", "harris",
+    "sanchez", "clark", "ramirez", "lewis", "robinson", "walker", "young",
+    "allen", "king", "wright", "scott", "torres", "nguyen", "hill",
+    "flores", "green", "adams", "nelson", "baker", "hall", "rivera",
+    "campbell", "mitchell", "carter", "roberts", "wang", "cui", "liang",
+    "christen", "papadakis", "hinton", "jordan", "bishop", "mackay",
+)
+
+#: Venue names per publication type.
+JOURNALS: tuple[str, ...] = (
+    "machine learning journal", "neural computation",
+    "journal of artificial intelligence research",
+    "ieee transactions on neural networks",
+    "journal of machine learning research", "artificial intelligence",
+    "pattern recognition", "data mining and knowledge discovery",
+    "ieee transactions on pattern analysis", "cognitive science",
+)
+
+CONFERENCES: tuple[str, ...] = (
+    "advances in neural information processing systems",
+    "international conference on machine learning",
+    "national conference on artificial intelligence",
+    "international joint conference on artificial intelligence",
+    "conference on computational learning theory",
+    "international conference on pattern recognition",
+    "proceedings of the cognitive science society",
+    "international conference on genetic algorithms",
+)
+
+INSTITUTIONS: tuple[str, ...] = (
+    "carnegie mellon university", "stanford university",
+    "massachusetts institute of technology", "university of toronto",
+    "australian national university", "university of edinburgh",
+    "california institute of technology", "university of cambridge",
+)
+
+BOOK_PUBLISHERS: tuple[str, ...] = (
+    "morgan kaufmann", "mit press", "springer verlag",
+    "cambridge university press", "addison wesley",
+)
+
+#: First names by gender for the voter generator.
+VOTER_FIRST_M: tuple[str, ...] = (
+    "james", "john", "robert", "michael", "william", "david", "richard",
+    "joseph", "thomas", "charles", "christopher", "daniel", "matthew",
+    "anthony", "donald", "mark", "paul", "steven", "andrew", "kenneth",
+    "joshua", "kevin", "brian", "george", "edward", "ronald", "timothy",
+    "jason", "jeffrey", "ryan", "jacob", "gary", "nicholas", "eric",
+    "jonathan", "stephen", "larry", "justin", "scott", "brandon",
+    "benjamin", "samuel", "gregory", "frank", "alexander", "raymond",
+    "patrick", "jack", "dennis", "jerry",
+)
+
+VOTER_FIRST_F: tuple[str, ...] = (
+    "mary", "patricia", "jennifer", "linda", "elizabeth", "barbara",
+    "susan", "jessica", "sarah", "karen", "nancy", "lisa", "margaret",
+    "betty", "sandra", "ashley", "dorothy", "kimberly", "emily", "donna",
+    "michelle", "carol", "amanda", "melissa", "deborah", "stephanie",
+    "rebecca", "laura", "sharon", "cynthia", "kathleen", "amy", "shirley",
+    "angela", "helen", "anna", "brenda", "pamela", "nicole", "samantha",
+    "katherine", "christine", "debra", "rachel", "catherine", "carolyn",
+    "janet", "ruth", "maria", "heather",
+)
+
+_VOTER_LAST_BASE: tuple[str, ...] = AUTHOR_LAST + (
+    "turner", "phillips", "evans", "parker", "edwards", "collins",
+    "stewart", "morris", "murphy", "cook", "rogers", "peterson", "cooper",
+    "reed", "bailey", "bell", "gomez", "kelly", "howard", "ward", "cox",
+    "diaz", "richardson", "wood", "watson", "brooks", "bennett", "gray",
+    "james", "reyes", "cruz", "hughes", "price", "myers", "long", "foster",
+    "sanders", "ross", "morales", "powell", "sullivan", "russell", "ortiz",
+    "jenkins", "gutierrez", "perry", "butler", "barnes", "fisher",
+)
+
+# Real voter registries have near-unique names (the NC extract holds
+# ~250k distinct name pairs among 292k rows). A base pool of ~110
+# surnames would give a 3,000-record subset heavy name collisions that
+# no technique can resolve, depressing every PQ. Expanding the pool by
+# systematic prefix/suffix composition restores realistic cardinality
+# (~2,700 surnames) while keeping names plausible and deterministic.
+_SURNAME_PREFIXES: tuple[str, ...] = (
+    "", "mc", "o", "van", "de", "la", "st", "del",
+)
+_SURNAME_SUFFIXES: tuple[str, ...] = ("", "son", "s", "er")
+
+# Plain base surnames come first so that frequency-skewed sampling
+# (which treats the pool head as the "common names") draws realistic
+# high-frequency surnames.
+VOTER_LAST: tuple[str, ...] = _VOTER_LAST_BASE + tuple(
+    f"{prefix}{base}{suffix}"
+    for base in _VOTER_LAST_BASE
+    for prefix in _SURNAME_PREFIXES
+    for suffix in _SURNAME_SUFFIXES
+    if prefix or suffix
+)
+
+NC_CITIES: tuple[str, ...] = (
+    "charlotte", "raleigh", "greensboro", "durham", "winston salem",
+    "fayetteville", "cary", "wilmington", "high point", "concord",
+    "asheville", "greenville", "gastonia", "jacksonville", "chapel hill",
+    "rocky mount", "burlington", "huntersville", "wilson", "kannapolis",
+)

@@ -1,0 +1,66 @@
+"""Cluster-level evaluation of end-to-end entity resolution.
+
+Pairwise precision / recall / F1 against the ground-truth entity map:
+the standard measures for the *clustering* stage, complementing the
+blocking measures of :mod:`repro.evaluation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.records.dataset import Dataset
+from repro.records.ground_truth import Pair, sorted_pair
+
+
+@dataclass(frozen=True)
+class ResolutionMetrics:
+    """Pairwise precision/recall/F1 of a clustering."""
+
+    precision: float
+    recall: float
+    f1: float
+    num_clusters: int
+    num_predicted_pairs: int
+    num_true_pairs: int
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.4f} R={self.recall:.4f} F1={self.f1:.4f} "
+            f"(clusters={self.num_clusters})"
+        )
+
+
+def _cluster_pairs(clusters: Sequence[Sequence[str]]) -> set[Pair]:
+    pairs: set[Pair] = set()
+    for cluster in clusters:
+        members = sorted(set(cluster))
+        for i, first in enumerate(members):
+            for second in members[i + 1 :]:
+                pairs.add(sorted_pair(first, second))
+    return pairs
+
+
+def evaluate_resolution(
+    clusters: Sequence[Sequence[str]], dataset: Dataset
+) -> ResolutionMetrics:
+    """Score predicted entity clusters against the ground truth."""
+    predicted = _cluster_pairs(clusters)
+    truth = dataset.true_matches
+    true_positives = len(predicted & truth)
+    precision = true_positives / len(predicted) if predicted else 0.0
+    recall = true_positives / len(truth) if truth else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    return ResolutionMetrics(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        num_clusters=len(clusters),
+        num_predicted_pairs=len(predicted),
+        num_true_pairs=len(truth),
+    )

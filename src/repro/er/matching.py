@@ -1,0 +1,113 @@
+"""Pairwise record matching over blocking candidates.
+
+A :class:`SimilarityMatcher` scores candidate pairs with a weighted
+combination of per-attribute string similarities (the classic
+Fellegi-Sunter-style linear comparison vector) and classifies them as
+matches, non-matches, or possible matches via two thresholds — matching
+the three-region structure of the paper's §3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.records.dataset import Dataset
+from repro.records.ground_truth import Pair
+from repro.text.similarity import StringSimilarity, get_similarity
+
+
+@dataclass(frozen=True)
+class MatchDecision:
+    """Outcome of scoring one candidate pair."""
+
+    pair: Pair
+    score: float
+    label: str  # 'match' | 'possible' | 'non-match'
+
+
+class SimilarityMatcher:
+    """Weighted-average attribute similarity classifier.
+
+    Parameters
+    ----------
+    attribute_similarities:
+        Mapping attribute -> similarity function name (see
+        :func:`repro.text.similarity.get_similarity`).
+    weights:
+        Optional per-attribute weights (default: uniform).
+    match_threshold / possible_threshold:
+        Scores >= ``match_threshold`` are matches; scores in
+        [possible_threshold, match_threshold) are possible matches
+        (the §3 uncertain region); the rest are non-matches.
+    """
+
+    def __init__(
+        self,
+        attribute_similarities: Mapping[str, str],
+        *,
+        weights: Mapping[str, float] | None = None,
+        match_threshold: float = 0.85,
+        possible_threshold: float = 0.65,
+    ) -> None:
+        if not attribute_similarities:
+            raise ConfigurationError("need at least one attribute similarity")
+        if not 0.0 <= possible_threshold <= match_threshold <= 1.0:
+            raise ConfigurationError(
+                "need 0 <= possible_threshold <= match_threshold <= 1, got "
+                f"{possible_threshold} / {match_threshold}"
+            )
+        self._similarities: dict[str, StringSimilarity] = {
+            attribute: get_similarity(name)
+            for attribute, name in attribute_similarities.items()
+        }
+        raw_weights = dict(weights or {})
+        self._weights = {
+            attribute: raw_weights.get(attribute, 1.0)
+            for attribute in self._similarities
+        }
+        total = sum(self._weights.values())
+        if total <= 0:
+            raise ConfigurationError("weights must sum to a positive value")
+        self._weights = {a: w / total for a, w in self._weights.items()}
+        self.match_threshold = match_threshold
+        self.possible_threshold = possible_threshold
+
+    def score(self, dataset: Dataset, pair: Pair) -> float:
+        """Weighted similarity of one pair in [0, 1]."""
+        record1, record2 = dataset[pair[0]], dataset[pair[1]]
+        total = 0.0
+        for attribute, similarity in self._similarities.items():
+            total += self._weights[attribute] * similarity(
+                record1.get(attribute), record2.get(attribute)
+            )
+        return total
+
+    def classify(self, dataset: Dataset, pair: Pair) -> MatchDecision:
+        score = self.score(dataset, pair)
+        if score >= self.match_threshold:
+            label = "match"
+        elif score >= self.possible_threshold:
+            label = "possible"
+        else:
+            label = "non-match"
+        return MatchDecision(pair=pair, score=score, label=label)
+
+    def match_pairs(
+        self, dataset: Dataset, candidate_pairs: Iterable[Pair]
+    ) -> list[MatchDecision]:
+        """Classify every candidate pair (sorted for determinism)."""
+        return [
+            self.classify(dataset, pair) for pair in sorted(candidate_pairs)
+        ]
+
+    def matches(
+        self, dataset: Dataset, candidate_pairs: Iterable[Pair]
+    ) -> set[Pair]:
+        """Just the pairs classified as matches."""
+        return {
+            decision.pair
+            for decision in self.match_pairs(dataset, candidate_pairs)
+            if decision.label == "match"
+        }

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors such as ``TypeError``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid or inconsistent options."""
+
+
+class TaxonomyError(ReproError):
+    """A taxonomy tree or forest violates its structural invariants."""
+
+
+class SemanticFunctionError(ReproError):
+    """A semantic function produced an invalid interpretation."""
+
+
+class BlockingError(ReproError):
+    """A blocker could not produce blocks for the given dataset."""
+
+
+class DatasetError(ReproError):
+    """A dataset or generator was asked for something impossible."""
+
+
+class EvaluationError(ReproError):
+    """Evaluation was attempted on inconsistent inputs."""

@@ -1,0 +1,27 @@
+"""Blocking-quality measures and experiment runners (paper §6)."""
+
+from repro.evaluation.metrics import BlockingMetrics, evaluate_blocks
+from repro.evaluation.objective import ObjectiveValue, blocking_objective
+from repro.evaluation.runner import ExperimentResult, best_by, run_blocking
+from repro.evaluation.reporting import format_table
+from repro.evaluation.statistics import (
+    MetricSummary,
+    bootstrap_difference,
+    seed_sweep,
+    summarise,
+)
+
+__all__ = [
+    "BlockingMetrics",
+    "evaluate_blocks",
+    "ObjectiveValue",
+    "blocking_objective",
+    "ExperimentResult",
+    "run_blocking",
+    "best_by",
+    "format_table",
+    "MetricSummary",
+    "seed_sweep",
+    "summarise",
+    "bootstrap_difference",
+]

@@ -1,0 +1,91 @@
+"""The four blocking measures PC, PQ, RR, FM plus PQ*, FM* (paper §6).
+
+Definitions (with Γ the distinct candidate pairs, Γm the per-block
+multiset of pairs, Ω all dataset pairs, and ``tp`` marking true
+matches):
+
+* PC  = |Γtp| / |Ωtp|   — pair completeness (recall of true matches)
+* PQ  = |Γtp| / |Γ|     — pair quality over *distinct* pairs
+* RR  = 1 - |Γ| / |Ω|   — reduction ratio
+* FM  = harmonic mean of PC and PQ
+* PQ* = |Γtp| / |Γm|    — the meta-blocking paper's PQ (redundant pairs)
+* FM* = harmonic mean of PC and PQ*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.base import BlockingResult
+from repro.errors import EvaluationError
+from repro.records.dataset import Dataset
+
+
+def _harmonic(a: float, b: float) -> float:
+    return 2.0 * a * b / (a + b) if (a + b) > 0.0 else 0.0
+
+
+@dataclass(frozen=True)
+class BlockingMetrics:
+    """Quality measures of one blocking result."""
+
+    pc: float
+    pq: float
+    rr: float
+    fm: float
+    pq_star: float
+    fm_star: float
+    num_blocks: int
+    num_distinct_pairs: int
+    num_multiset_pairs: int
+    num_true_positives: int
+    max_block_size: int
+
+    def row(self) -> list[float]:
+        """The headline measures in report order (PC, PQ, RR, FM)."""
+        return [self.pc, self.pq, self.rr, self.fm]
+
+    def __str__(self) -> str:
+        return (
+            f"PC={self.pc:.4f} PQ={self.pq:.4f} RR={self.rr:.4f} "
+            f"FM={self.fm:.4f} (blocks={self.num_blocks}, "
+            f"pairs={self.num_distinct_pairs})"
+        )
+
+
+def evaluate_blocks(result: BlockingResult, dataset: Dataset) -> BlockingMetrics:
+    """Score a blocking result against the dataset's ground truth."""
+    for block in result.blocks:
+        for record_id in block:
+            if record_id not in dataset:
+                raise EvaluationError(
+                    f"block references unknown record {record_id!r}"
+                )
+
+    candidate_pairs = result.distinct_pairs
+    true_matches = dataset.true_matches
+    true_positives = len(candidate_pairs & true_matches)
+
+    total_true = len(true_matches)
+    total_pairs = dataset.total_pairs
+    num_distinct = len(candidate_pairs)
+    num_multiset = result.num_multiset_comparisons
+
+    pc = true_positives / total_true if total_true else 0.0
+    pq = true_positives / num_distinct if num_distinct else 0.0
+    pq_star = true_positives / num_multiset if num_multiset else 0.0
+    rr = 1.0 - num_distinct / total_pairs if total_pairs else 0.0
+
+    return BlockingMetrics(
+        pc=pc,
+        pq=pq,
+        rr=rr,
+        fm=_harmonic(pc, pq),
+        pq_star=pq_star,
+        fm_star=_harmonic(pc, pq_star),
+        num_blocks=result.num_blocks,
+        num_distinct_pairs=num_distinct,
+        num_multiset_pairs=num_multiset,
+        num_true_positives=true_positives,
+        max_block_size=result.max_block_size,
+    )

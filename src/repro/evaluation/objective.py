@@ -1,0 +1,68 @@
+"""The blocking-problem objective of Eq. 2 (§3).
+
+The optimisation form of the blocking problem minimises the share of
+true non-matches among compared pairs subject to losing at most an ε
+fraction of true matches:
+
+    minimise   Σ_{(r1,r2) ∈ N} θ_B(r1,r2) / Σ_{r1≠r2} θ_B(r1,r2)
+    such that  1 - Σ_{(r1,r2) ∈ P} θ_B(r1,r2) / |P|  <=  ε
+
+where θ_B(r1, r2) = 1 iff some block contains both records. This module
+evaluates a blocking against that objective so different blockings can
+be compared on the paper's own optimisation criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.base import BlockingResult
+from repro.errors import EvaluationError
+from repro.records.dataset import Dataset
+
+
+@dataclass(frozen=True)
+class ObjectiveValue:
+    """Eq. 2 evaluated on one blocking."""
+
+    non_match_share: float  # the minimised quantity
+    match_loss: float  # 1 - PC, the constrained quantity
+    epsilon: float
+    feasible: bool  # match_loss <= epsilon
+
+    def __str__(self) -> str:
+        status = "feasible" if self.feasible else "INFEASIBLE"
+        return (
+            f"objective={self.non_match_share:.4f} "
+            f"loss={self.match_loss:.4f} (ε={self.epsilon}, {status})"
+        )
+
+
+def blocking_objective(
+    result: BlockingResult, dataset: Dataset, epsilon: float
+) -> ObjectiveValue:
+    """Evaluate Eq. 2 for a blocking result.
+
+    ``non_match_share`` is 1 - PQ over distinct candidate pairs;
+    ``match_loss`` is 1 - PC. An empty blocking is infeasible for any
+    ε < 1 (it loses every match) and has objective 0 by convention.
+    """
+    if not 0.0 <= epsilon <= 1.0:
+        raise EvaluationError(f"epsilon must be in [0, 1], got {epsilon}")
+
+    candidates = result.distinct_pairs
+    truth = dataset.true_matches
+    true_positives = len(candidates & truth)
+
+    non_match_share = (
+        (len(candidates) - true_positives) / len(candidates)
+        if candidates
+        else 0.0
+    )
+    match_loss = 1.0 - (true_positives / len(truth) if truth else 1.0)
+    return ObjectiveValue(
+        non_match_share=non_match_share,
+        match_loss=match_loss,
+        epsilon=epsilon,
+        feasible=match_loss <= epsilon,
+    )

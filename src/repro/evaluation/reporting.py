@@ -1,0 +1,46 @@
+"""Plain-text tables for benchmark output.
+
+The benchmark harness prints each reproduced table/figure as an ASCII
+table; keeping the formatter here lets tests assert on structure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _format_cell(value: object, float_digits: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_digits: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(format_table(["a", "b"], [[1, 0.5]]))
+    a | b
+    --+-------
+    1 | 0.5000
+    """
+    cells = [[_format_cell(v, float_digits) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Seed sweeps and bootstrap confidence intervals for metrics.
+
+Table 2 reports mean±std deltas over repeated runs; this module holds
+the generic machinery: run a blocker factory across seeds, aggregate
+any metric attribute, and bootstrap a confidence interval for the
+difference of two configurations.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.base import Blocker
+from repro.errors import EvaluationError
+from repro.evaluation.metrics import BlockingMetrics
+from repro.evaluation.runner import run_blocking
+from repro.records.dataset import Dataset
+from repro.utils.rand import rng_from_seed
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean / std / extremes of one metric over repeated runs."""
+
+    metric: str
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.metric}: {self.mean:.4f}±{self.std:.4f} (n={self.n})"
+
+
+def seed_sweep(
+    blocker_factory: Callable[[int], Blocker],
+    dataset: Dataset,
+    seeds: Iterable[int],
+) -> list[BlockingMetrics]:
+    """Run ``blocker_factory(seed)`` for every seed, collect metrics."""
+    return [
+        run_blocking(blocker_factory(seed), dataset).metrics for seed in seeds
+    ]
+
+
+def summarise(metrics_list: Sequence[BlockingMetrics], metric: str) -> MetricSummary:
+    """Aggregate one metric attribute over a sweep."""
+    if not metrics_list:
+        raise EvaluationError("cannot summarise an empty sweep")
+    if not hasattr(metrics_list[0], metric):
+        raise EvaluationError(f"unknown metric {metric!r}")
+    values = [float(getattr(m, metric)) for m in metrics_list]
+    return MetricSummary(
+        metric=metric,
+        mean=statistics.mean(values),
+        std=statistics.stdev(values) if len(values) > 1 else 0.0,
+        minimum=min(values),
+        maximum=max(values),
+        n=len(values),
+    )
+
+
+def bootstrap_difference(
+    values_a: Sequence[float],
+    values_b: Sequence[float],
+    *,
+    num_resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> tuple[float, float, float]:
+    """Bootstrap CI for mean(values_a) - mean(values_b).
+
+    Returns (point estimate, lower, upper). Paired resampling is not
+    assumed — the two samples are resampled independently.
+    """
+    if not values_a or not values_b:
+        raise EvaluationError("both samples must be non-empty")
+    if not 0.0 < confidence < 1.0:
+        raise EvaluationError(f"confidence must be in (0, 1), got {confidence}")
+    rng = rng_from_seed(seed, "bootstrap", len(values_a), len(values_b))
+    point = statistics.mean(values_a) - statistics.mean(values_b)
+    diffs = []
+    for _ in range(num_resamples):
+        sample_a = [rng.choice(values_a) for _ in values_a]
+        sample_b = [rng.choice(values_b) for _ in values_b]
+        diffs.append(statistics.mean(sample_a) - statistics.mean(sample_b))
+    diffs.sort()
+    alpha = (1.0 - confidence) / 2.0
+    lower = diffs[int(alpha * num_resamples)]
+    upper = diffs[min(int((1.0 - alpha) * num_resamples), num_resamples - 1)]
+    return point, lower, upper

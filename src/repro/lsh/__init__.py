@@ -1,0 +1,21 @@
+"""Banded locality-sensitive hashing (paper §5.1 step 3, §5.2)."""
+
+from repro.lsh.family import SensitivityParams, amplify_sensitivity
+from repro.lsh.bands import band_keys, split_bands
+from repro.lsh.index import BandedLSHIndex
+from repro.lsh.collision import (
+    banded_collision_probability,
+    salsh_collision_probability,
+    wway_collision_probability,
+)
+
+__all__ = [
+    "SensitivityParams",
+    "amplify_sensitivity",
+    "split_bands",
+    "band_keys",
+    "BandedLSHIndex",
+    "banded_collision_probability",
+    "wway_collision_probability",
+    "salsh_collision_probability",
+]

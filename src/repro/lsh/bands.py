@@ -1,0 +1,30 @@
+"""Splitting minhash signatures into bands (hash tables)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def split_bands(signature: np.ndarray, k: int, l: int) -> list[tuple[int, ...]]:
+    """Split a length-(k*l) signature into ``l`` tuples of ``k`` values.
+
+    Each tuple is the key of the record in one hash table; records whose
+    keys agree in *any* table land in a common block.
+    """
+    if signature.shape[0] != k * l:
+        raise ConfigurationError(
+            f"signature length {signature.shape[0]} != k*l = {k * l}"
+        )
+    return [tuple(int(v) for v in signature[band * k : (band + 1) * k]) for band in range(l)]
+
+
+def band_keys(signature: np.ndarray, k: int, l: int) -> list[int]:
+    """Hashed band keys — one Python int per hash table.
+
+    Collapses each k-tuple with the builtin tuple hash; cheaper to store
+    than tuples while preserving exact-equality collisions with
+    overwhelmingly high probability.
+    """
+    return [hash(band) for band in split_bands(signature, k, l)]

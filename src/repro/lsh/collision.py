@@ -1,0 +1,71 @@
+"""Closed-form collision probabilities (paper §5.1-5.3, Fig. 5/6).
+
+These formulas drive both parameter tuning and the Fig. 5 / Fig. 6
+curves:
+
+* banded minhash:      P = 1 - (1 - s^k)^l
+* w-way AND semantic:  p = s'^w
+* w-way OR semantic:   p = 1 - (1 - s')^w
+* SA-LSH combined:     P = 1 - (1 - s^k * p)^l
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Valid modes of a w-way semantic hash function.
+WWAY_MODES = ("and", "or")
+
+
+def _check_unit(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+
+
+def banded_collision_probability(s: float, k: int, l: int) -> float:
+    """Probability that banded minhash co-blocks a pair of similarity s.
+
+    >>> round(banded_collision_probability(0.8, 9, 15), 3)
+    0.885
+    """
+    _check_unit("s", s)
+    if k < 1 or l < 1:
+        raise ConfigurationError(f"k and l must be >= 1, got k={k}, l={l}")
+    return 1.0 - (1.0 - s**k) ** l
+
+
+def wway_collision_probability(s_prime: float, w: int, mode: str) -> float:
+    """Probability that a w-way semantic hash function returns true.
+
+    ``s_prime`` is the probability that a single semantic hash function
+    h_g fires for the pair (the paper's s' = p_v * p_e).
+
+    >>> wway_collision_probability(0.5, 2, "and")
+    0.25
+    >>> wway_collision_probability(0.5, 2, "or")
+    0.75
+    """
+    _check_unit("s_prime", s_prime)
+    if w < 1:
+        raise ConfigurationError(f"w must be >= 1, got {w}")
+    if mode not in WWAY_MODES:
+        raise ConfigurationError(f"mode must be one of {WWAY_MODES}, got {mode!r}")
+    if mode == "and":
+        return s_prime**w
+    return 1.0 - (1.0 - s_prime) ** w
+
+
+def salsh_collision_probability(
+    s: float, s_prime: float, k: int, l: int, w: int, mode: str
+) -> float:
+    """Combined probability 1 - (1 - s^k * p)^l of SA-LSH co-blocking.
+
+    ``s`` is textual similarity, ``s_prime`` the per-function semantic
+    firing probability, and ``p`` the w-way amplification of
+    ``s_prime``.
+    """
+    _check_unit("s", s)
+    if k < 1 or l < 1:
+        raise ConfigurationError(f"k and l must be >= 1, got k={k}, l={l}")
+    p = wway_collision_probability(s_prime, w, mode)
+    return 1.0 - (1.0 - (s**k) * p) ** l

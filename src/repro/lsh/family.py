@@ -1,0 +1,58 @@
+"""LSH family sensitivity model.
+
+A family ``H`` is (d1, d2, p1, p2)-sensitive over a distance space when
+close pairs (distance <= d1) collide with probability >= p1 and far
+pairs (distance >= d2) collide with probability <= p2. Banding with
+``k`` rows per band and ``l`` bands turns a (d1, d2, p1, p2)-sensitive
+family into a (d1, d2, 1-(1-p1^k)^l, 1-(1-p2^k)^l)-sensitive family
+(paper §5.1 step 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SensitivityParams:
+    """The (d1, d2, p1, p2) tuple describing an LSH family."""
+
+    d1: float
+    d2: float
+    p1: float
+    p2: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.d1 <= self.d2 <= 1.0:
+            raise ConfigurationError(
+                f"need 0 <= d1 <= d2 <= 1, got d1={self.d1}, d2={self.d2}"
+            )
+        for name, p in (("p1", self.p1), ("p2", self.p2)):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {p}")
+        if self.p1 < self.p2:
+            raise ConfigurationError(
+                f"a useful family needs p1 >= p2, got p1={self.p1} < p2={self.p2}"
+            )
+
+    @property
+    def gap(self) -> float:
+        """The probability gap p1 - p2 that amplification widens."""
+        return self.p1 - self.p2
+
+
+def amplify_sensitivity(params: SensitivityParams, k: int, l: int) -> SensitivityParams:
+    """Apply k-row AND / l-band OR amplification to a family.
+
+    >>> base = SensitivityParams(0.2, 0.6, 0.8, 0.4)
+    >>> amplified = amplify_sensitivity(base, k=4, l=8)
+    >>> amplified.p1 > amplified.p2
+    True
+    """
+    if k < 1 or l < 1:
+        raise ConfigurationError(f"k and l must be >= 1, got k={k}, l={l}")
+    p1 = 1.0 - (1.0 - params.p1**k) ** l
+    p2 = 1.0 - (1.0 - params.p2**k) ** l
+    return SensitivityParams(params.d1, params.d2, p1, p2)

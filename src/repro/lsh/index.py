@@ -1,0 +1,81 @@
+"""The banded LSH index: hash tables of buckets.
+
+Construction is a single pass over the records (O(n * l)); blocks are
+the buckets that hold at least two records. The optional semantic gate
+(used by SA-LSH) extends each bucket key with suffixes derived from the
+record's semhash signature, implementing the w-way AND/OR functions of
+paper §5.2 without pairwise work (see DESIGN.md, "O(n) SA-LSH bucket
+construction").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Hashable, Iterable, Sequence
+
+GateFn = Callable[[int, str], Sequence[Hashable]]
+#: A gate takes (table_index, record_id) and returns the bucket-key
+#: suffixes under which the record is inserted in that table. Returning
+#: an empty sequence excludes the record from the table entirely.
+
+
+def _no_gate(_table: int, _record_id: str) -> Sequence[Hashable]:
+    return (0,)
+
+
+class BandedLSHIndex:
+    """Accumulates records into ``l`` hash tables keyed by band keys."""
+
+    def __init__(self, num_tables: int) -> None:
+        if num_tables < 1:
+            raise ValueError(f"need at least one table, got {num_tables}")
+        self.num_tables = num_tables
+        self._tables: list[dict[Hashable, list[str]]] = [
+            defaultdict(list) for _ in range(num_tables)
+        ]
+
+    def add(
+        self,
+        record_id: str,
+        keys: Sequence[Hashable],
+        gate: GateFn = _no_gate,
+    ) -> None:
+        """Insert one record under its per-table band keys.
+
+        Parameters
+        ----------
+        record_id:
+            Identifier stored in the buckets.
+        keys:
+            One band key per table (length must equal ``num_tables``).
+        gate:
+            Semantic gate; for every table the record is inserted once
+            per suffix the gate yields.
+        """
+        if len(keys) != self.num_tables:
+            raise ValueError(
+                f"expected {self.num_tables} band keys, got {len(keys)}"
+            )
+        for table_index, key in enumerate(keys):
+            for suffix in gate(table_index, record_id):
+                self._tables[table_index][(key, suffix)].append(record_id)
+
+    def blocks(self, *, min_size: int = 2) -> list[tuple[str, ...]]:
+        """All buckets holding at least ``min_size`` records.
+
+        Bucket contents preserve insertion order; a bucket from table t
+        is independent of buckets from other tables (blocks may overlap,
+        as the paper's framework intends).
+        """
+        found: list[tuple[str, ...]] = []
+        for table in self._tables:
+            for members in table.values():
+                if len(members) >= min_size:
+                    found.append(tuple(members))
+        return found
+
+    def bucket_sizes(self) -> list[int]:
+        """Sizes of all non-empty buckets (diagnostics)."""
+        return [
+            len(members) for table in self._tables for members in table.values()
+        ]

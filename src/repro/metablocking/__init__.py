@@ -1,0 +1,22 @@
+"""Meta-blocking (Papadakis et al., TKDE 2014) — the Fig. 12 comparator.
+
+Meta-blocking restructures an existing block collection: build the
+*blocking graph* (nodes = records, edges = co-occurring pairs), weight
+the edges, prune weak ones, and emit the surviving edges as the new
+candidate pairs.
+"""
+
+from repro.metablocking.graph import BlockingGraph, build_blocking_graph
+from repro.metablocking.weights import WEIGHT_SCHEMES, edge_weight
+from repro.metablocking.pruning import PRUNING_ALGORITHMS, prune
+from repro.metablocking.pipeline import run_metablocking
+
+__all__ = [
+    "BlockingGraph",
+    "build_blocking_graph",
+    "WEIGHT_SCHEMES",
+    "edge_weight",
+    "PRUNING_ALGORITHMS",
+    "prune",
+    "run_metablocking",
+]

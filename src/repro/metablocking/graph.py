@@ -1,0 +1,96 @@
+"""The blocking graph: records as nodes, co-occurrence as edges."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.base import BlockingResult
+from repro.records.ground_truth import Pair, sorted_pair
+
+
+@dataclass(frozen=True)
+class BlockingGraph:
+    """Weighted blocking graph derived from a block collection.
+
+    Attributes
+    ----------
+    edges:
+        Pair -> weight.
+    block_ids_of:
+        Record id -> set of block indices containing it.
+    num_blocks:
+        Number of blocks in the source collection.
+    block_sizes:
+        Size of each source block (for ARCS).
+    """
+
+    edges: dict[Pair, float]
+    block_ids_of: dict[str, frozenset[int]]
+    num_blocks: int
+    block_sizes: tuple[int, ...]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.block_ids_of)
+
+    def degree(self, record_id: str) -> int:
+        """Number of graph edges incident to the record."""
+        count = 0
+        for a, b in self.edges:
+            if a == record_id or b == record_id:
+                count += 1
+        return count
+
+    def adjacency(self) -> dict[str, list[tuple[str, float]]]:
+        """Node -> [(neighbour, weight)] (built on demand)."""
+        adj: dict[str, list[tuple[str, float]]] = {}
+        for (a, b), weight in self.edges.items():
+            adj.setdefault(a, []).append((b, weight))
+            adj.setdefault(b, []).append((a, weight))
+        return adj
+
+
+def build_blocking_graph(result: BlockingResult, scheme: str) -> BlockingGraph:
+    """Construct the weighted graph for one weighting scheme.
+
+    Edge weights are computed by :func:`repro.metablocking.weights.edge_weight`
+    from the co-occurrence statistics gathered here.
+    """
+    from repro.metablocking.weights import edge_weight
+
+    block_ids_of: dict[str, set[int]] = {}
+    for index, block in enumerate(result.blocks):
+        for record_id in set(block):
+            block_ids_of.setdefault(record_id, set()).add(index)
+
+    frozen = {rid: frozenset(ids) for rid, ids in block_ids_of.items()}
+    block_sizes = tuple(len(b) for b in result.blocks)
+
+    # Degrees (|v_i| for EJS) need the distinct-neighbour counts first.
+    neighbour_sets: dict[str, set[str]] = {}
+    for pair in result.distinct_pairs:
+        a, b = pair
+        neighbour_sets.setdefault(a, set()).add(b)
+        neighbour_sets.setdefault(b, set()).add(a)
+    degrees = {rid: len(ns) for rid, ns in neighbour_sets.items()}
+    total_edges = len(result.distinct_pairs)
+
+    edges: dict[Pair, float] = {}
+    for pair in result.distinct_pairs:
+        a, b = pair
+        edges[sorted_pair(a, b)] = edge_weight(
+            scheme,
+            blocks_a=frozen[a],
+            blocks_b=frozen[b],
+            num_blocks=len(result.blocks),
+            block_sizes=block_sizes,
+            degree_a=degrees[a],
+            degree_b=degrees[b],
+            total_edges=total_edges,
+        )
+    return BlockingGraph(
+        edges=edges,
+        block_ids_of=frozen,
+        num_blocks=len(result.blocks),
+        block_sizes=block_sizes,
+    )

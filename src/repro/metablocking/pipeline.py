@@ -1,0 +1,30 @@
+"""End-to-end meta-blocking: blocks -> weighted graph -> pruned pairs."""
+
+from __future__ import annotations
+
+from repro.core.base import BlockingResult
+from repro.metablocking.graph import build_blocking_graph
+from repro.metablocking.pruning import prune
+
+
+def run_metablocking(
+    result: BlockingResult, scheme: str, algorithm: str
+) -> BlockingResult:
+    """Restructure a block collection with meta-blocking.
+
+    The output's blocks are the surviving record pairs (size-2 blocks),
+    the standard form for evaluating meta-blocking with PC / PQ* / FM*
+    (Fig. 12).
+    """
+    graph = build_blocking_graph(result, scheme)
+    surviving = sorted(prune(graph, algorithm))
+    return BlockingResult(
+        blocker_name=f"{result.blocker_name}+{algorithm}/{scheme}",
+        blocks=tuple(surviving),
+        metadata={
+            "source": result.blocker_name,
+            "scheme": scheme,
+            "algorithm": algorithm,
+            "input_blocks": result.num_blocks,
+        },
+    )

@@ -1,0 +1,91 @@
+"""Pruning algorithms of meta-blocking (Papadakis et al., 2014).
+
+* WEP — Weighted Edge Pruning: keep edges with weight >= the global
+  mean weight.
+* CEP — Cardinality Edge Pruning: keep the K globally heaviest edges,
+  K = floor(Σ_b |b| / 2).
+* WNP — Weighted Node Pruning: per node, keep edges >= the node's mean
+  incident weight; surviving edges are the union over nodes.
+* CNP — Cardinality Node Pruning: per node, keep its k heaviest edges,
+  k = max(1, floor(Σ_b |b| / |V|)); union over nodes.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import ConfigurationError
+from repro.metablocking.graph import BlockingGraph
+from repro.records.ground_truth import Pair, sorted_pair
+
+#: Pruning algorithm names accepted by :func:`prune`.
+PRUNING_ALGORITHMS = ("WEP", "CEP", "WNP", "CNP")
+
+
+def _mean_threshold(weights) -> float:
+    """Mean with a relative tolerance.
+
+    Summation error can push the computed mean infinitesimally above
+    every element when all weights are equal (e.g. a single block under
+    ARCS); without the tolerance such graphs would prune *every* edge.
+    """
+    weights = list(weights)
+    mean = sum(weights) / len(weights)
+    return mean - 1e-12 * max(1.0, abs(mean))
+
+
+def _wep(graph: BlockingGraph) -> set[Pair]:
+    if not graph.edges:
+        return set()
+    threshold = _mean_threshold(graph.edges.values())
+    return {pair for pair, weight in graph.edges.items() if weight >= threshold}
+
+
+def _cep(graph: BlockingGraph) -> set[Pair]:
+    if not graph.edges:
+        return set()
+    budget = sum(graph.block_sizes) // 2
+    budget = max(1, min(budget, len(graph.edges)))
+    heaviest = heapq.nlargest(
+        budget, graph.edges.items(), key=lambda item: (item[1], item[0])
+    )
+    return {pair for pair, _ in heaviest}
+
+
+def _wnp(graph: BlockingGraph) -> set[Pair]:
+    kept: set[Pair] = set()
+    for node, neighbours in graph.adjacency().items():
+        if not neighbours:
+            continue
+        threshold = _mean_threshold(w for _, w in neighbours)
+        for other, weight in neighbours:
+            if weight >= threshold:
+                kept.add(sorted_pair(node, other))
+    return kept
+
+
+def _cnp(graph: BlockingGraph) -> set[Pair]:
+    if graph.num_nodes == 0:
+        return set()
+    k = max(1, sum(graph.block_sizes) // graph.num_nodes)
+    kept: set[Pair] = set()
+    for node, neighbours in graph.adjacency().items():
+        top = heapq.nlargest(k, neighbours, key=lambda item: (item[1], item[0]))
+        for other, _ in top:
+            kept.add(sorted_pair(node, other))
+    return kept
+
+
+def prune(graph: BlockingGraph, algorithm: str) -> set[Pair]:
+    """Apply one pruning algorithm; returns the surviving pairs."""
+    if algorithm == "WEP":
+        return _wep(graph)
+    if algorithm == "CEP":
+        return _cep(graph)
+    if algorithm == "WNP":
+        return _wnp(graph)
+    if algorithm == "CNP":
+        return _cnp(graph)
+    raise ConfigurationError(
+        f"unknown pruning algorithm {algorithm!r}; known: {PRUNING_ALGORITHMS}"
+    )

@@ -1,0 +1,69 @@
+"""Edge weighting schemes of meta-blocking (Papadakis et al., 2014).
+
+* CBS  — Common Blocks Scheme: |B_i ∩ B_j|.
+* ECBS — Enhanced CBS: CBS · log(|B|/|B_i|) · log(|B|/|B_j|).
+* JS   — Jaccard Scheme: |B_i ∩ B_j| / (|B_i| + |B_j| - |B_i ∩ B_j|).
+* EJS  — Enhanced JS: JS · log(|E|/|v_i|) · log(|E|/|v_j|).
+* ARCS — Aggregate Reciprocal Comparisons: Σ_{b ∈ B_i ∩ B_j} 1/||b||,
+  with ||b|| the comparisons in block b.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Scheme names accepted by :func:`edge_weight`.
+WEIGHT_SCHEMES = ("ARCS", "CBS", "ECBS", "JS", "EJS")
+
+
+def edge_weight(
+    scheme: str,
+    *,
+    blocks_a: AbstractSet[int],
+    blocks_b: AbstractSet[int],
+    num_blocks: int,
+    block_sizes: Sequence[int],
+    degree_a: int,
+    degree_b: int,
+    total_edges: int,
+) -> float:
+    """Weight of the edge between two records under one scheme."""
+    common = blocks_a & blocks_b
+    cbs = float(len(common))
+
+    if scheme == "CBS":
+        return cbs
+    if scheme == "ECBS":
+        if not blocks_a or not blocks_b:
+            return 0.0
+        return (
+            cbs
+            * math.log(num_blocks / len(blocks_a))
+            * math.log(num_blocks / len(blocks_b))
+        )
+    if scheme == "JS":
+        union = len(blocks_a) + len(blocks_b) - len(common)
+        return cbs / union if union else 0.0
+    if scheme == "EJS":
+        union = len(blocks_a) + len(blocks_b) - len(common)
+        js = cbs / union if union else 0.0
+        if degree_a == 0 or degree_b == 0 or total_edges == 0:
+            return 0.0
+        # Guard log of values < 1 when a node touches every edge.
+        factor_a = math.log(max(total_edges / degree_a, 1.0))
+        factor_b = math.log(max(total_edges / degree_b, 1.0))
+        return js * factor_a * factor_b
+    if scheme == "ARCS":
+        weight = 0.0
+        for block_index in common:
+            size = block_sizes[block_index]
+            comparisons = size * (size - 1) / 2
+            if comparisons > 0:
+                weight += 1.0 / comparisons
+        return weight
+    raise ConfigurationError(
+        f"unknown weighting scheme {scheme!r}; known: {WEIGHT_SCHEMES}"
+    )

@@ -1,0 +1,12 @@
+"""Minhash signatures over q-gram shingles (paper Section 5.1)."""
+
+from repro.minhash.shingling import Shingler
+from repro.minhash.minhash import MinHasher
+from repro.minhash.signature import SignatureMatrix, build_signature_matrix
+
+__all__ = [
+    "Shingler",
+    "MinHasher",
+    "SignatureMatrix",
+    "build_signature_matrix",
+]

@@ -1,0 +1,53 @@
+"""Minhash signature generation (paper §5.1 step 2).
+
+A minhash signature of length ``n`` approximates the Jaccard similarity
+between shingle sets: the probability that one signature component
+agrees between two records equals their Jaccard similarity (Broder et
+al., 2000).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.hashing import UniversalHashFamily
+
+
+class MinHasher:
+    """Produce minhash signatures with ``num_hashes`` hash functions.
+
+    Parameters
+    ----------
+    num_hashes:
+        Signature length ``n = k * l`` (rows per band times bands).
+    seed:
+        Seed for the universal hash coefficients; two MinHashers with
+        the same seed produce identical signatures.
+    """
+
+    def __init__(self, num_hashes: int, seed: int = 0) -> None:
+        if num_hashes < 1:
+            raise ConfigurationError(
+                f"num_hashes must be >= 1, got {num_hashes}"
+            )
+        self.num_hashes = num_hashes
+        self.seed = seed
+        self._family = UniversalHashFamily(num_hashes, seed)
+
+    def signature(self, shingle_ids: np.ndarray) -> np.ndarray:
+        """Minhash signature (uint64 array of length ``num_hashes``).
+
+        Empty shingle sets yield the sentinel signature (all entries
+        equal to the hash modulus), which never collides with non-empty
+        records and collides with other empty records — mirroring the
+        convention that two fully-missing records are textually
+        identical.
+        """
+        return self._family.min_over(shingle_ids)
+
+    def estimate_jaccard(self, sig1: np.ndarray, sig2: np.ndarray) -> float:
+        """Fraction of agreeing components — unbiased Jaccard estimate."""
+        if sig1.shape != sig2.shape:
+            raise ValueError("signatures must have the same length")
+        return float(np.mean(sig1 == sig2))

@@ -1,0 +1,52 @@
+"""Signature matrices: minhash signatures for a whole dataset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.minhash.minhash import MinHasher
+from repro.minhash.shingling import Shingler
+from repro.records.dataset import Dataset
+
+
+@dataclass(frozen=True)
+class SignatureMatrix:
+    """Minhash signatures for every record of a dataset.
+
+    Attributes
+    ----------
+    record_ids:
+        Row order of the matrix.
+    matrix:
+        ``(num_records, num_hashes)`` uint64 array.
+    """
+
+    record_ids: tuple[str, ...]
+    matrix: np.ndarray
+
+    def row(self, record_id: str) -> np.ndarray:
+        """Signature of one record (linear scan; use indices in bulk code)."""
+        index = self.record_ids.index(record_id)
+        return self.matrix[index]
+
+    @property
+    def num_records(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def num_hashes(self) -> int:
+        return self.matrix.shape[1]
+
+
+def build_signature_matrix(
+    dataset: Dataset, shingler: Shingler, hasher: MinHasher
+) -> SignatureMatrix:
+    """Shingle and minhash every record of ``dataset``."""
+    rows = np.empty((len(dataset), hasher.num_hashes), dtype=np.uint64)
+    ids = []
+    for i, record in enumerate(dataset):
+        ids.append(record.record_id)
+        rows[i] = hasher.signature(shingler.shingle_ids(record))
+    return SignatureMatrix(record_ids=tuple(ids), matrix=rows)

@@ -1,0 +1,22 @@
+"""Record and dataset model with ground-truth bookkeeping."""
+
+from repro.records.record import Record
+from repro.records.dataset import Dataset
+from repro.records.ground_truth import (
+    entity_clusters,
+    sorted_pair,
+    true_match_pairs,
+)
+from repro.records.io import read_csv, read_pairs_csv, write_csv, write_pairs_csv
+
+__all__ = [
+    "Record",
+    "Dataset",
+    "sorted_pair",
+    "true_match_pairs",
+    "entity_clusters",
+    "read_csv",
+    "write_csv",
+    "read_pairs_csv",
+    "write_pairs_csv",
+]

@@ -1,0 +1,116 @@
+"""The :class:`Dataset` container.
+
+A dataset is an ordered collection of :class:`~repro.records.Record`
+objects with unique ids, plus cached ground-truth structures used by the
+evaluation measures (PC needs ``Ωtp``; RR needs ``|Ω|``).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import DatasetError
+from repro.records.ground_truth import Pair, entity_clusters, true_match_pairs
+from repro.records.record import Record
+
+
+class Dataset:
+    """An ordered, immutable collection of records.
+
+    Parameters
+    ----------
+    records:
+        The records; ids must be unique.
+    name:
+        Optional human-readable name used in reports.
+    """
+
+    def __init__(self, records: Iterable[Record], name: str = "dataset") -> None:
+        self._records: tuple[Record, ...] = tuple(records)
+        self.name = name
+        seen: set[str] = set()
+        for record in self._records:
+            if record.record_id in seen:
+                raise DatasetError(f"duplicate record id {record.record_id!r}")
+            seen.add(record.record_id)
+        self._by_id = {r.record_id: r for r in self._records}
+
+    # -- collection protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __getitem__(self, record_id: str) -> Record:
+        try:
+            return self._by_id[record_id]
+        except KeyError:
+            raise DatasetError(f"no record with id {record_id!r}") from None
+
+    def __contains__(self, record_id: object) -> bool:
+        return record_id in self._by_id
+
+    @property
+    def records(self) -> Sequence[Record]:
+        return self._records
+
+    @property
+    def record_ids(self) -> list[str]:
+        return [r.record_id for r in self._records]
+
+    # -- ground truth ---------------------------------------------------------
+
+    @cached_property
+    def true_matches(self) -> set[Pair]:
+        """The set ``Ωtp`` of labelled true-match pairs."""
+        return true_match_pairs(self._records)
+
+    @cached_property
+    def clusters(self) -> dict[str, list[str]]:
+        """Record ids grouped by ground-truth entity."""
+        return entity_clusters(self._records)
+
+    @property
+    def num_true_matches(self) -> int:
+        return len(self.true_matches)
+
+    @property
+    def total_pairs(self) -> int:
+        """``|Ω|``: the number of distinct record pairs in the dataset."""
+        n = len(self._records)
+        return n * (n - 1) // 2
+
+    def is_true_match(self, id1: str, id2: str) -> bool:
+        """True when both records are labelled with the same entity."""
+        e1 = self._by_id[id1].entity_id
+        e2 = self._by_id[id2].entity_id
+        return e1 is not None and e1 == e2
+
+    # -- derived datasets -----------------------------------------------------
+
+    def subset(self, record_ids: Iterable[str], name: str | None = None) -> "Dataset":
+        """Dataset restricted to ``record_ids`` (order preserved)."""
+        wanted = set(record_ids)
+        kept = [r for r in self._records if r.record_id in wanted]
+        return Dataset(kept, name=name or f"{self.name}-subset")
+
+    def sample(self, n: int, seed: int = 0, name: str | None = None) -> "Dataset":
+        """Deterministic random sample of ``n`` records."""
+        from repro.utils.rand import rng_from_seed
+
+        if n > len(self._records):
+            raise DatasetError(
+                f"cannot sample {n} records from {len(self._records)}"
+            )
+        rng = rng_from_seed(seed, "dataset-sample", self.name, n)
+        chosen = rng.sample(list(self._records), n)
+        return Dataset(chosen, name=name or f"{self.name}-sample{n}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Dataset(name={self.name!r}, records={len(self)}, "
+            f"entities={len(self.clusters)})"
+        )

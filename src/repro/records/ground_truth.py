@@ -1,0 +1,43 @@
+"""Ground-truth utilities: true-match pairs and entity clusters."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.records.record import Record
+
+Pair = tuple[str, str]
+
+
+def sorted_pair(id1: str, id2: str) -> Pair:
+    """Canonical ordered form of an unordered record pair."""
+    return (id1, id2) if id1 <= id2 else (id2, id1)
+
+
+def entity_clusters(records: Iterable[Record]) -> dict[str, list[str]]:
+    """Group record ids by their ground-truth entity.
+
+    Records without an ``entity_id`` are ignored (they can never be part
+    of a labelled true match).
+    """
+    clusters: dict[str, list[str]] = defaultdict(list)
+    for record in records:
+        if record.entity_id is not None:
+            clusters[record.entity_id].append(record.record_id)
+    return dict(clusters)
+
+
+def true_match_pairs(records: Iterable[Record]) -> set[Pair]:
+    """Return the set ``Ωtp`` of all true-match pairs.
+
+    Two records match when they share an ``entity_id``. Pairs are in the
+    canonical sorted order of :func:`sorted_pair`.
+    """
+    pairs: set[Pair] = set()
+    for members in entity_clusters(records).values():
+        members.sort()
+        for i, first in enumerate(members):
+            for second in members[i + 1 :]:
+                pairs.add((first, second))
+    return pairs

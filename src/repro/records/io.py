@@ -1,0 +1,99 @@
+"""CSV import/export for datasets and candidate pairs.
+
+The CLI and downstream users exchange datasets as plain CSV: one row
+per record with a mandatory id column and an optional ground-truth
+entity column; all remaining columns become record attributes.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import DatasetError
+from repro.records.dataset import Dataset
+from repro.records.ground_truth import Pair
+from repro.records.record import Record
+
+#: Default column names used by :func:`write_csv`.
+ID_COLUMN = "record_id"
+ENTITY_COLUMN = "entity_id"
+
+
+def write_csv(dataset: Dataset, path: str | Path) -> None:
+    """Write a dataset to CSV (id and entity columns first)."""
+    attributes = sorted({a for r in dataset for a in r.fields})
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([ID_COLUMN, ENTITY_COLUMN] + attributes)
+        for record in dataset:
+            writer.writerow(
+                [record.record_id, record.entity_id or ""]
+                + [record.get(a) for a in attributes]
+            )
+
+
+def read_csv(
+    path: str | Path,
+    *,
+    id_column: str = ID_COLUMN,
+    entity_column: str | None = ENTITY_COLUMN,
+    name: str | None = None,
+) -> Dataset:
+    """Read a dataset from CSV.
+
+    Raises
+    ------
+    DatasetError
+        If the id column is missing or a row has no id.
+    """
+    path = Path(path)
+    records = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or id_column not in reader.fieldnames:
+            raise DatasetError(
+                f"CSV {path} has no {id_column!r} column; "
+                f"found {reader.fieldnames}"
+            )
+        has_entity = (
+            entity_column is not None and entity_column in reader.fieldnames
+        )
+        for row in reader:
+            record_id = (row.get(id_column) or "").strip()
+            if not record_id:
+                raise DatasetError(f"CSV {path} contains a row without an id")
+            entity = (row.get(entity_column) or "").strip() if has_entity else ""
+            fields = {
+                key: value or ""
+                for key, value in row.items()
+                if key not in (id_column, entity_column)
+            }
+            records.append(
+                Record(record_id, fields, entity_id=entity or None)
+            )
+    return Dataset(records, name=name or path.stem)
+
+
+def write_pairs_csv(pairs: Iterable[Pair], path: str | Path) -> None:
+    """Write candidate pairs to a two-column CSV."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id1", "id2"])
+        for id1, id2 in sorted(pairs):
+            writer.writerow([id1, id2])
+
+
+def read_pairs_csv(path: str | Path) -> set[Pair]:
+    """Read candidate pairs written by :func:`write_pairs_csv`."""
+    pairs: set[Pair] = set()
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or not {"id1", "id2"} <= set(
+            reader.fieldnames
+        ):
+            raise DatasetError(f"CSV {path} is not a pairs file")
+        for row in reader:
+            pairs.add((row["id1"], row["id2"]))
+    return pairs

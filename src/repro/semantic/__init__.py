@@ -1,0 +1,53 @@
+"""Semantic similarity, semantic functions, semhash and w-way hashing.
+
+This package implements the paper's Section 4 (semantic similarity) and
+the semantic half of Section 5 (semhash signatures, w-way AND/OR
+semantic hash functions).
+"""
+
+from repro.semantic.interpretation import (
+    CallableSemanticFunction,
+    SemanticFunction,
+    enforce_specificity,
+)
+from repro.semantic.patterns import (
+    MissingValuePattern,
+    PatternSemanticFunction,
+    cora_patterns,
+    cora_patterns_for,
+)
+from repro.semantic.voter import VoterSemanticFunction
+from repro.semantic.similarity import (
+    concept_similarity,
+    leaf_expansion_similarity,
+    record_semantic_similarity,
+    related_pairs,
+)
+from repro.semantic.semhash import SemhashEncoder, semhash_jaccard
+from repro.semantic.hashing import WWaySemanticHashFamily
+from repro.semantic.analysis import (
+    SemanticFeatureQuality,
+    analyse_semantic_features,
+    recommend_gate,
+)
+
+__all__ = [
+    "SemanticFunction",
+    "CallableSemanticFunction",
+    "enforce_specificity",
+    "MissingValuePattern",
+    "PatternSemanticFunction",
+    "cora_patterns",
+    "cora_patterns_for",
+    "VoterSemanticFunction",
+    "concept_similarity",
+    "record_semantic_similarity",
+    "leaf_expansion_similarity",
+    "related_pairs",
+    "SemhashEncoder",
+    "semhash_jaccard",
+    "WWaySemanticHashFamily",
+    "SemanticFeatureQuality",
+    "analyse_semantic_features",
+    "recommend_gate",
+]

@@ -1,0 +1,121 @@
+"""Semantic-feature quality analysis (paper §5.3 step iii, §6.2).
+
+The choice of the w-way gate depends on the quality of the semantic
+features: "if the semantic features are noisy, uncertain (i.e., semantic
+features of some records are missing) or heterogeneous (different
+records of the same entities may have different semantic features), a
+w-way OR semantic function is preferred; otherwise, a w-way AND semantic
+function may be chosen."
+
+This module quantifies those three defects on a labelled training
+sample and recommends (µ, w):
+
+* **noise** — fraction of true-match pairs whose semantic similarity is
+  exactly 0 (the gate would destroy them: Cora's venue-pattern errors);
+* **uncertainty** — fraction of records whose interpretation is wider
+  than one concept (missing attributes widen ζ: NC Voter's 'u' values);
+* **heterogeneity** — fraction of true-match pairs with 0 < simS < 1
+  (same entity, different but related features).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.records.dataset import Dataset
+from repro.records.ground_truth import Pair
+from repro.semantic.interpretation import SemanticFunction
+from repro.semantic.similarity import leaf_expansion_similarity
+
+
+@dataclass(frozen=True)
+class SemanticFeatureQuality:
+    """Defect rates of a semantic function on one dataset."""
+
+    noise_rate: float
+    uncertainty_rate: float
+    heterogeneity_rate: float
+    num_pairs: int
+    num_records: int
+
+    @property
+    def is_clean(self) -> bool:
+        """True when all three defect rates are small (AND-safe)."""
+        return (
+            self.noise_rate < 0.02
+            and self.uncertainty_rate < 0.05
+            and self.heterogeneity_rate < 0.1
+        )
+
+
+def analyse_semantic_features(
+    dataset: Dataset,
+    semantic_function: SemanticFunction,
+    *,
+    sample_pairs: Iterable[Pair] | None = None,
+    max_pairs: int = 5000,
+) -> SemanticFeatureQuality:
+    """Measure noise / uncertainty / heterogeneity on labelled data.
+
+    ``sample_pairs`` defaults to (a prefix of) the dataset's true
+    matches; pass a custom training subset to mirror §5.3's small
+    training set.
+    """
+    forest = semantic_function.forest
+    interpretations = {
+        record.record_id: semantic_function.interpret(record)
+        for record in dataset
+    }
+
+    uncertain = sum(
+        1
+        for zeta in interpretations.values()
+        if len(forest.leaf_expansion(zeta)) > 1
+    )
+
+    pairs = list(
+        sample_pairs
+        if sample_pairs is not None
+        else sorted(dataset.true_matches)[:max_pairs]
+    )
+    noisy = 0
+    heterogeneous = 0
+    for id1, id2 in pairs:
+        similarity = leaf_expansion_similarity(
+            forest, interpretations[id1], interpretations[id2]
+        )
+        if similarity == 0.0:
+            noisy += 1
+        elif similarity < 1.0:
+            heterogeneous += 1
+
+    num_pairs = max(len(pairs), 1)
+    return SemanticFeatureQuality(
+        noise_rate=noisy / num_pairs,
+        uncertainty_rate=uncertain / max(len(interpretations), 1),
+        heterogeneity_rate=heterogeneous / num_pairs,
+        num_pairs=len(pairs),
+        num_records=len(interpretations),
+    )
+
+
+def recommend_gate(
+    quality: SemanticFeatureQuality, num_bits: int
+) -> tuple[str, int | str]:
+    """(µ, w) recommendation from feature quality (§5.3 step iii).
+
+    Clean features allow a strict AND gate with small w; any defect
+    switches to OR, with w growing alongside the defect rates — the
+    experimentally stable region of Fig. 7/8 is "µ = ∨ and w greater
+    than 50% of the total number of semantic signatures".
+    """
+    if quality.is_clean:
+        return ("and", min(2, num_bits))
+    defect = max(
+        quality.noise_rate, quality.uncertainty_rate, quality.heterogeneity_rate
+    )
+    if defect > 0.25:
+        return ("or", "all")
+    w = max(1, int(round(num_bits * 0.5)) + 1)
+    return ("or", min(w, num_bits))

@@ -1,0 +1,160 @@
+"""Missing-value-pattern semantic functions (paper Table 1, §6.2).
+
+The Cora experiments interpret each publication record by which of the
+attributes *journal*, *booktitle* and *institution* are present: e.g. a
+record with a journal and a booktitle but no institution is a journal
+article or conference paper (concepts C3, C4 of ``tbib``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import SemanticFunctionError
+from repro.records.record import Record
+from repro.semantic.interpretation import SemanticFunction
+from repro.taxonomy.builders import (
+    BIB_JOURNAL,
+    BIB_NON_PEER_REVIEWED,
+    BIB_PROCEEDINGS,
+    BIB_PUBLICATION,
+    BIB_TECH_REPORT,
+    BIB_THESIS,
+)
+from repro.taxonomy.forest import TaxonomyForest
+from repro.taxonomy.tree import TaxonomyTree
+
+
+@dataclass(frozen=True)
+class MissingValuePattern:
+    """One row of a Table 1-style pattern table.
+
+    ``present`` lists attributes that must be NOT NULL, ``absent`` those
+    that must be NULL; attributes mentioned in neither are unconstrained.
+    ``concepts`` is the interpretation assigned on match.
+    """
+
+    present: tuple[str, ...]
+    absent: tuple[str, ...]
+    concepts: tuple[str, ...]
+
+    def matches(self, record: Record) -> bool:
+        return all(record.has_value(a) for a in self.present) and not any(
+            record.has_value(a) for a in self.absent
+        )
+
+
+class PatternSemanticFunction(SemanticFunction):
+    """Interpret records by the first matching missing-value pattern.
+
+    Parameters
+    ----------
+    taxonomy:
+        Tree or forest the concepts belong to.
+    patterns:
+        Ordered pattern list; the first match wins.
+    fallback:
+        Concepts assigned when no pattern matches (defaults to none,
+        which raises — Table 1's pattern set is complete, so a miss
+        indicates a configuration error).
+    """
+
+    def __init__(
+        self,
+        taxonomy: TaxonomyTree | TaxonomyForest,
+        patterns: Sequence[MissingValuePattern],
+        fallback: tuple[str, ...] | None = None,
+    ) -> None:
+        super().__init__(taxonomy)
+        if not patterns:
+            raise SemanticFunctionError("need at least one pattern")
+        self.patterns = tuple(patterns)
+        self.fallback = fallback
+        for pattern in self.patterns:
+            for concept_id in pattern.concepts:
+                if not self.forest.has_concept(concept_id):
+                    raise SemanticFunctionError(
+                        f"pattern references unknown concept {concept_id!r}"
+                    )
+
+    def matching_pattern(self, record: Record) -> MissingValuePattern | None:
+        """The first pattern matching ``record`` (diagnostics, Table 1)."""
+        for pattern in self.patterns:
+            if pattern.matches(record):
+                return pattern
+        return None
+
+    def _interpret_raw(self, record: Record) -> Iterable[str]:
+        pattern = self.matching_pattern(record)
+        if pattern is not None:
+            return pattern.concepts
+        if self.fallback is not None:
+            return self.fallback
+        raise SemanticFunctionError(
+            f"no pattern matches record {record.record_id!r} and no fallback set"
+        )
+
+
+#: The three Cora attributes driving Table 1.
+CORA_PATTERN_ATTRIBUTES = ("journal", "booktitle", "institution")
+
+
+def cora_patterns() -> list[MissingValuePattern]:
+    """The eight patterns of the paper's Table 1.
+
+    Pattern rows (journal, booktitle, institution -> concepts):
+
+    1. (Y, Y, Y) -> C3, C4, C6       5. (N, Y, Y) -> C4, C7, C8
+    2. (Y, Y, N) -> C3, C4           6. (N, Y, N) -> C4
+    3. (Y, N, Y) -> C3, C6           7. (N, N, Y) -> C7, C8
+    4. (Y, N, N) -> C3               8. (N, N, N) -> C1
+    """
+    journal, booktitle, institution = CORA_PATTERN_ATTRIBUTES
+    rows: list[tuple[tuple[str, ...], tuple[str, ...], tuple[str, ...]]] = [
+        ((journal, booktitle, institution), (), (BIB_JOURNAL, BIB_PROCEEDINGS, BIB_NON_PEER_REVIEWED)),
+        ((journal, booktitle), (institution,), (BIB_JOURNAL, BIB_PROCEEDINGS)),
+        ((journal, institution), (booktitle,), (BIB_JOURNAL, BIB_NON_PEER_REVIEWED)),
+        ((journal,), (booktitle, institution), (BIB_JOURNAL,)),
+        ((booktitle, institution), (journal,), (BIB_PROCEEDINGS, BIB_TECH_REPORT, BIB_THESIS)),
+        ((booktitle,), (journal, institution), (BIB_PROCEEDINGS,)),
+        ((institution,), (journal, booktitle), (BIB_TECH_REPORT, BIB_THESIS)),
+        ((), (journal, booktitle, institution), (BIB_PUBLICATION,)),
+    ]
+    return [
+        MissingValuePattern(present=p, absent=a, concepts=c) for p, a, c in rows
+    ]
+
+
+def cora_patterns_for(tree: TaxonomyTree) -> list[MissingValuePattern]:
+    """Table 1 patterns adapted to a taxonomy variant (Fig. 10, Table 2).
+
+    Concepts missing from ``tree`` are remapped to their nearest
+    surviving ancestor in the reference ``tbib`` — the paper's rule that
+    "records originally related to missing concepts have been changed
+    to relate with their parent concepts" (§6.3.3). Specificity is
+    re-established at interpretation time, so a remap that lands on an
+    ancestor of a sibling concept simply collapses into it.
+    """
+    from repro.taxonomy.builders import bibliographic_tree
+
+    reference = bibliographic_tree()
+
+    def remap(concept_id: str) -> str:
+        if tree.has_concept(concept_id):
+            return concept_id
+        for ancestor in reference.ancestors(concept_id):
+            if tree.has_concept(ancestor):
+                return ancestor
+        raise SemanticFunctionError(
+            f"no ancestor of {concept_id!r} exists in tree {tree.name!r}"
+        )
+
+    return [
+        MissingValuePattern(
+            present=pattern.present,
+            absent=pattern.absent,
+            concepts=tuple(dict.fromkeys(remap(c) for c in pattern.concepts)),
+        )
+        for pattern in cora_patterns()
+    ]

@@ -1,0 +1,111 @@
+"""Semhash signatures (paper Algorithm 1).
+
+The encoder chooses the concept subset C (one bit per *leaf* concept
+reachable from any record's interpretation) and produces binary
+signatures ``G(r)`` with ``g_i(r) = 1`` iff leaf concept ``c_i`` is
+subsumed by some concept of ζ(r). C satisfies the three conditions of
+§4.4 by construction:
+
+* **Disjointness** — leaves of a tree are pairwise unrelated.
+* **Completeness** — every leaf under any interpreted concept is in C.
+* **Non-emptiness** — bits only exist for leaves some record reaches.
+
+By Prop. 4.3 (exact in this construction — see DESIGN.md) the Jaccard
+similarity of two signatures equals the records' semantic similarity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import SemanticFunctionError
+from repro.records.record import Record
+from repro.semantic.interpretation import SemanticFunction
+
+
+def semhash_jaccard(sig1: np.ndarray, sig2: np.ndarray) -> float:
+    """Jaccard of two binary signatures; all-zero vs anything is 0.
+
+    The all-zero convention matches Proposition 4.2: a record with an
+    empty interpretation is semantically similar to nothing.
+    """
+    if sig1.shape != sig2.shape:
+        raise ValueError("signatures must have the same length")
+    ones1 = int(sig1.sum())
+    ones2 = int(sig2.sum())
+    if ones1 == 0 or ones2 == 0:
+        return 0.0
+    intersection = int(np.minimum(sig1, sig2).sum())
+    union = ones1 + ones2 - intersection
+    return intersection / union
+
+
+class SemhashEncoder:
+    """Generate semhash signatures for the records of a dataset.
+
+    Parameters
+    ----------
+    semantic_function:
+        The semantic function ζ (carries its taxonomy forest).
+    records:
+        The record population used to select the bit concepts C
+        (Algorithm 1 step 1). Bits are sorted by concept id for
+        determinism.
+    """
+
+    def __init__(
+        self, semantic_function: SemanticFunction, records: Iterable[Record]
+    ) -> None:
+        self.semantic_function = semantic_function
+        forest = semantic_function.forest
+
+        bit_concepts: set[str] = set()
+        interpretations: dict[str, frozenset[str]] = {}
+        for record in records:
+            zeta = semantic_function.interpret(record)
+            interpretations[record.record_id] = zeta
+            for concept_id in zeta:
+                bit_concepts |= forest.leaf_set(concept_id)
+        if not bit_concepts:
+            raise SemanticFunctionError(
+                "no record produced any concept; cannot build semhash bits"
+            )
+        self.bits: tuple[str, ...] = tuple(sorted(bit_concepts))
+        self._bit_index = {c: i for i, c in enumerate(self.bits)}
+        self._interpretations = interpretations
+
+    @property
+    def num_bits(self) -> int:
+        return len(self.bits)
+
+    def interpretation(self, record: Record) -> frozenset[str]:
+        """ζ(record), cached for records seen at construction time."""
+        cached = self._interpretations.get(record.record_id)
+        if cached is not None:
+            return cached
+        return self.semantic_function.interpret(record)
+
+    def encode(self, record: Record) -> np.ndarray:
+        """The semhash signature ``G(record)`` as a uint8 array.
+
+        Unseen leaf concepts (possible for records outside the
+        construction population) are ignored — the signature only spans
+        the chosen bit set C.
+        """
+        signature = np.zeros(self.num_bits, dtype=np.uint8)
+        forest = self.semantic_function.forest
+        for concept_id in self.interpretation(record):
+            for leaf in forest.leaf_set(concept_id):
+                index = self._bit_index.get(leaf)
+                if index is not None:
+                    signature[index] = 1
+        return signature
+
+    def signature_matrix(self, records: Iterable[Record]) -> np.ndarray:
+        """Stack of signatures, one row per record."""
+        rows = [self.encode(record) for record in records]
+        if not rows:
+            return np.zeros((0, self.num_bits), dtype=np.uint8)
+        return np.stack(rows)

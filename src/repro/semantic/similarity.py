@@ -1,0 +1,125 @@
+"""Semantic similarity of concepts and records (paper §4.3).
+
+* Eq. 4: ``simS(c1, c2) = |leaf(c1) ∩ leaf(c2)| / |leaf(c1) ∪ leaf(c2)|``
+* Eq. 5: record similarity as the weighted sum over related concept
+  pairs of the two interpretations.
+
+The library also provides :func:`leaf_expansion_similarity`, the Jaccard
+of the interpretations' leaf expansions; for interpretations satisfying
+specificity it is *provably equal* to Eq. 5 (see DESIGN.md) and is the
+O(|leaves|) fast path that semhash signatures realise bit-wise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.taxonomy.forest import TaxonomyForest
+from repro.taxonomy.tree import TaxonomyTree
+
+
+def _as_forest(taxonomy: TaxonomyTree | TaxonomyForest) -> TaxonomyForest:
+    if isinstance(taxonomy, TaxonomyForest):
+        return taxonomy
+    return TaxonomyForest.of(taxonomy)
+
+
+def concept_similarity(
+    taxonomy: TaxonomyTree | TaxonomyForest, c1: str, c2: str
+) -> float:
+    """Eq. 4 — Jaccard of the two concepts' leaf sets.
+
+    Sibling concepts (and any two concepts with disjoint subtrees) have
+    similarity 0, satisfying Eq. 3; concepts of different trees also
+    have similarity 0.
+
+    >>> from repro.taxonomy.builders import bibliographic_tree
+    >>> tree = bibliographic_tree()
+    >>> concept_similarity(tree, "c0", "c1")  # Example 4.4
+    0.8333333333333334
+    """
+    forest = _as_forest(taxonomy)
+    leaves1, leaves2 = forest.leaf_set(c1), forest.leaf_set(c2)
+    union = len(leaves1 | leaves2)
+    if union == 0:
+        return 0.0
+    return len(leaves1 & leaves2) / union
+
+
+def related_pairs(
+    taxonomy: TaxonomyTree | TaxonomyForest,
+    zeta1: Iterable[str],
+    zeta2: Iterable[str],
+) -> list[tuple[str, str]]:
+    """The paper's P(r1, r2): concept pairs related by subsumption.
+
+    Subsumption is reflexive, so a concept shared by both
+    interpretations pairs with itself.
+    """
+    forest = _as_forest(taxonomy)
+    return [
+        (c1, c2)
+        for c1 in zeta1
+        for c2 in zeta2
+        if forest.related(c1, c2)
+    ]
+
+
+def record_semantic_similarity(
+    taxonomy: TaxonomyTree | TaxonomyForest,
+    zeta1: Iterable[str],
+    zeta2: Iterable[str],
+) -> float:
+    """Eq. 5 — semantic similarity of two interpreted records.
+
+    ``simS(r1, r2) = Σ_{(c1,c2) ∈ P} (|α(c1,c2)| / |β|) · simS(c1, c2)``
+    with α = leaf(c1) ∪ leaf(c2) and β the union of α over *all*
+    interpretation pairs.
+
+    Empty interpretations have similarity 0 with everything (P = ∅,
+    Proposition 4.2).
+
+    >>> from repro.taxonomy.builders import bibliographic_tree
+    >>> tree = bibliographic_tree()
+    >>> record_semantic_similarity(tree, {"c4"}, {"c3", "c4"})  # Ex. 4.5
+    0.5
+    """
+    forest = _as_forest(taxonomy)
+    zeta1 = frozenset(zeta1)
+    zeta2 = frozenset(zeta2)
+    if not zeta1 or not zeta2:
+        return 0.0
+
+    beta: set[str] = set()
+    for c1 in zeta1:
+        for c2 in zeta2:
+            beta |= forest.leaf_set(c1)
+            beta |= forest.leaf_set(c2)
+    if not beta:
+        return 0.0
+
+    total = 0.0
+    for c1, c2 in related_pairs(forest, zeta1, zeta2):
+        alpha = forest.leaf_set(c1) | forest.leaf_set(c2)
+        weight = len(alpha) / len(beta)
+        total += weight * concept_similarity(forest, c1, c2)
+    return total
+
+
+def leaf_expansion_similarity(
+    taxonomy: TaxonomyTree | TaxonomyForest,
+    zeta1: Iterable[str],
+    zeta2: Iterable[str],
+) -> float:
+    """Jaccard of the interpretations' leaf expansions.
+
+    Equal to Eq. 5 for specificity-compliant interpretations; this is
+    what semhash signatures compute bit-wise (Proposition 4.3 holds with
+    equality).
+    """
+    forest = _as_forest(taxonomy)
+    leaves1 = forest.leaf_expansion(zeta1)
+    leaves2 = forest.leaf_expansion(zeta2)
+    if not leaves1 or not leaves2:
+        return 0.0
+    return len(leaves1 & leaves2) / len(leaves1 | leaves2)

@@ -1,0 +1,62 @@
+"""Semantic function for voter records over the race × gender taxonomy.
+
+Mirrors the paper's NC Voter setup (§6.2): the taxonomy is built on the
+metadata of *race* and *gender*, both of which contain uncertain values
+('u' or missing). Uncertainty widens the interpretation:
+
+* race + gender known  -> the single race × gender leaf
+* race known only      -> the race concept (both gender leaves)
+* gender known only    -> every race's leaf of that gender
+* nothing known        -> the root
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.records.record import Record
+from repro.semantic.interpretation import SemanticFunction
+from repro.taxonomy.builders import (
+    VOTER_GENDERS,
+    VOTER_RACES,
+    VOTER_ROOT,
+    voter_leaf_concept,
+    voter_race_concept,
+    voter_tree,
+)
+from repro.taxonomy.forest import TaxonomyForest
+from repro.taxonomy.tree import TaxonomyTree
+
+
+class VoterSemanticFunction(SemanticFunction):
+    """Interpret voter records by their race and gender attributes."""
+
+    def __init__(
+        self,
+        taxonomy: TaxonomyTree | TaxonomyForest | None = None,
+        *,
+        race_attribute: str = "race",
+        gender_attribute: str = "gender",
+    ) -> None:
+        super().__init__(taxonomy if taxonomy is not None else voter_tree())
+        self.race_attribute = race_attribute
+        self.gender_attribute = gender_attribute
+
+    def _known_race(self, record: Record) -> str | None:
+        value = record.get(self.race_attribute).strip().lower()
+        return value if value in VOTER_RACES else None
+
+    def _known_gender(self, record: Record) -> str | None:
+        value = record.get(self.gender_attribute).strip().lower()
+        return value if value in VOTER_GENDERS else None
+
+    def _interpret_raw(self, record: Record) -> Iterable[str]:
+        race = self._known_race(record)
+        gender = self._known_gender(record)
+        if race is not None and gender is not None:
+            return (voter_leaf_concept(race, gender),)
+        if race is not None:
+            return (voter_race_concept(race),)
+        if gender is not None:
+            return tuple(voter_leaf_concept(r, gender) for r in VOTER_RACES)
+        return (VOTER_ROOT,)

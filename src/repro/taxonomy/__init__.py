@@ -1,0 +1,7 @@
+"""Taxonomy trees and forests (paper Section 4.1)."""
+
+from repro.taxonomy.concept import Concept
+from repro.taxonomy.tree import TaxonomyTree
+from repro.taxonomy.forest import TaxonomyForest
+
+__all__ = ["Concept", "TaxonomyTree", "TaxonomyForest"]

@@ -1,0 +1,133 @@
+"""Concrete taxonomies used in the paper's experiments.
+
+* :func:`bibliographic_tree` — Fig. 3's ``tbib`` over research outputs.
+* :func:`bibliographic_tree_variant` — the Fig. 10 variants used in
+  Table 2 (t(bib,1) drops the peer-review level; t(bib,2) drops Book;
+  t(bib,3) drops Journal).
+* :func:`voter_tree` — a race × gender taxonomy with 12 leaves, the
+  paper's "12 bit semantic signature" for NC Voter (§6.2).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.tree import TaxonomyTree
+
+#: Concept ids of ``tbib`` (paper Fig. 3).
+BIB_ROOT = "c0"
+BIB_PUBLICATION = "c1"
+BIB_PEER_REVIEWED = "c2"
+BIB_JOURNAL = "c3"
+BIB_PROCEEDINGS = "c4"
+BIB_BOOK = "c5"
+BIB_NON_PEER_REVIEWED = "c6"
+BIB_TECH_REPORT = "c7"
+BIB_THESIS = "c8"
+BIB_PATENT = "c9"
+
+
+def bibliographic_tree() -> TaxonomyTree:
+    """The bibliographic taxonomy ``tbib`` of Fig. 3.
+
+    Leaves are {Journal, Proceedings, Book, Technical Report, Thesis,
+    Patent} — six leaves, matching Example 4.4's simS(c0, c1) = 5/6.
+    """
+    return TaxonomyTree.from_spec(
+        "tbib",
+        (
+            BIB_ROOT,
+            "Research Output",
+            [
+                (
+                    BIB_PUBLICATION,
+                    "Publication",
+                    [
+                        (
+                            BIB_PEER_REVIEWED,
+                            "Peer Reviewed",
+                            [
+                                (BIB_JOURNAL, "Journal", []),
+                                (BIB_PROCEEDINGS, "Proceedings", []),
+                                (BIB_BOOK, "Book", []),
+                            ],
+                        ),
+                        (
+                            BIB_NON_PEER_REVIEWED,
+                            "Non-Peer Reviewed",
+                            [
+                                (BIB_TECH_REPORT, "Technical Report", []),
+                                (BIB_THESIS, "Thesis", []),
+                            ],
+                        ),
+                    ],
+                ),
+                (BIB_PATENT, "Patent", []),
+            ],
+        ),
+    )
+
+
+def bibliographic_tree_variant(variant: int) -> TaxonomyTree:
+    """The Fig. 10 variants of ``tbib`` used in Table 2.
+
+    * variant 1 — removes Peer Reviewed (c2) and Non-Peer Reviewed (c6);
+      their children hang directly off Publication.
+    * variant 2 — misses Book (c5).
+    * variant 3 — misses Journal (c3).
+    """
+    base = bibliographic_tree()
+    if variant == 1:
+        return (
+            base.without_node(BIB_PEER_REVIEWED)
+            .without_node(BIB_NON_PEER_REVIEWED, name="tbib-1")
+        )
+    if variant == 2:
+        return base.without_node(BIB_BOOK, name="tbib-2")
+    if variant == 3:
+        return base.without_node(BIB_JOURNAL, name="tbib-3")
+    raise TaxonomyError(f"unknown tbib variant {variant}; expected 1, 2 or 3")
+
+
+#: Race codes used by the synthetic NC Voter generator and taxonomy.
+VOTER_RACES = ("w", "b", "a", "i", "m", "o")
+#: Gender codes; "u" marks the uncertain value found in the real data.
+VOTER_GENDERS = ("m", "f")
+
+VOTER_ROOT = "v0"
+
+_RACE_LABELS = {
+    "w": "White",
+    "b": "Black",
+    "a": "Asian",
+    "i": "American Indian",
+    "m": "Multiracial",
+    "o": "Other",
+}
+
+
+def voter_race_concept(race: str) -> str:
+    """Concept id of the internal node for one race."""
+    return f"race_{race}"
+
+
+def voter_leaf_concept(race: str, gender: str) -> str:
+    """Concept id of the race × gender leaf."""
+    return f"{race}_{gender}"
+
+
+def voter_tree() -> TaxonomyTree:
+    """Race × gender taxonomy with 6 race nodes and 12 leaves.
+
+    A voter with known race and gender maps to one leaf; unknown gender
+    maps to the race node (leaf set = both genders of that race);
+    unknown race with known gender maps to the set of per-race leaves of
+    that gender; fully unknown maps to the root.
+    """
+    spec_children = []
+    for race in VOTER_RACES:
+        leaves = [
+            (voter_leaf_concept(race, gender), f"{_RACE_LABELS[race]} {gender.upper()}", [])
+            for gender in VOTER_GENDERS
+        ]
+        spec_children.append((voter_race_concept(race), _RACE_LABELS[race], leaves))
+    return TaxonomyTree.from_spec("tvoter", (VOTER_ROOT, "Voter", spec_children))

@@ -1,0 +1,24 @@
+"""The :class:`Concept` value type (paper Definition 4.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Concept:
+    """A semantic concept: a node of a taxonomy tree.
+
+    ``concept_id`` is the identifier used throughout the library (the
+    paper's c0, c1, ...); ``label`` is the human-readable name shown in
+    reports (e.g. "Technical Report").
+    """
+
+    concept_id: str
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.concept_id:
+            raise ValueError("concept_id must be non-empty")
+        if not self.label:
+            object.__setattr__(self, "label", self.concept_id)

@@ -1,0 +1,73 @@
+"""A forest of taxonomy trees (the paper's set ``T``).
+
+Concepts of different trees are never related: subsumption does not hold
+across trees, so their semantic similarity is 0 (consistent with
+Proposition 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.tree import TaxonomyTree
+
+
+class TaxonomyForest:
+    """Several taxonomy trees with globally unique concept ids."""
+
+    def __init__(self, trees: Sequence[TaxonomyTree]) -> None:
+        if not trees:
+            raise TaxonomyError("a forest needs at least one tree")
+        self.trees = tuple(trees)
+        self._tree_of: dict[str, TaxonomyTree] = {}
+        for tree in self.trees:
+            for concept_id in tree.concept_ids:
+                if concept_id in self._tree_of:
+                    raise TaxonomyError(
+                        f"concept {concept_id!r} appears in more than one tree"
+                    )
+                self._tree_of[concept_id] = tree
+
+    @classmethod
+    def of(cls, *trees: TaxonomyTree) -> "TaxonomyForest":
+        return cls(trees)
+
+    def tree_of(self, concept_id: str) -> TaxonomyTree:
+        try:
+            return self._tree_of[concept_id]
+        except KeyError:
+            raise TaxonomyError(f"unknown concept {concept_id!r}") from None
+
+    def has_concept(self, concept_id: str) -> bool:
+        return concept_id in self._tree_of
+
+    def leaf_set(self, concept_id: str) -> frozenset[str]:
+        return self.tree_of(concept_id).leaf_set(concept_id)
+
+    def subsumes(self, ancestor_id: str, descendant_id: str) -> bool:
+        """Subsumption; False when the concepts live in different trees."""
+        tree = self.tree_of(ancestor_id)
+        if self.tree_of(descendant_id) is not tree:
+            return False
+        return tree.subsumes(ancestor_id, descendant_id)
+
+    def related(self, c1: str, c2: str) -> bool:
+        return self.subsumes(c1, c2) or self.subsumes(c2, c1)
+
+    @property
+    def leaves(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for tree in self.trees:
+            result |= tree.leaves
+        return result
+
+    def leaf_expansion(self, concepts: Iterable[str]) -> frozenset[str]:
+        """Union of leaf sets of several concepts (the set L of DESIGN.md)."""
+        result: set[str] = set()
+        for concept_id in concepts:
+            result |= self.leaf_set(concept_id)
+        return frozenset(result)
+
+    def __len__(self) -> int:
+        return len(self._tree_of)

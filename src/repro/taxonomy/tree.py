@@ -1,0 +1,241 @@
+"""Taxonomy trees: concepts plus a subsumption partial order.
+
+A taxonomy tree (paper Definition 4.1) is a rooted tree whose nodes are
+concepts and whose edges denote subsumption: ``c1 ⪯ c2`` ("c1 is
+subsumed by c2") holds when c2 lies on the path from c1 to the root.
+Subsumption is reflexive: ``c ⪯ c``.
+
+The similarity metric of Eq. 4 only needs each concept's *leaf set* —
+the leaves of the subtree rooted at the concept — which the tree caches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.concept import Concept
+
+# A nested spec is (concept_id, label, [child_specs...]).
+TreeSpec = tuple[str, str, Sequence["TreeSpec"]]
+
+
+class TaxonomyTree:
+    """A rooted taxonomy of concepts.
+
+    Build either incrementally::
+
+        tree = TaxonomyTree("bib")
+        tree.add_root("c0", "Research Output")
+        tree.add_child("c0", "c1", "Publication")
+
+    or from a nested spec with :meth:`from_spec`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._concepts: dict[str, Concept] = {}
+        self._parent: dict[str, str | None] = {}
+        self._children: dict[str, list[str]] = {}
+        self._root: str | None = None
+        self._leaf_cache: dict[str, frozenset[str]] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, name: str, spec: TreeSpec) -> "TaxonomyTree":
+        """Build a tree from a nested (id, label, children) spec."""
+        tree = cls(name)
+
+        def _add(node: TreeSpec, parent: str | None) -> None:
+            concept_id, label, children = node
+            if parent is None:
+                tree.add_root(concept_id, label)
+            else:
+                tree.add_child(parent, concept_id, label)
+            for child in children:
+                _add(child, concept_id)
+
+        _add(spec, None)
+        return tree
+
+    def add_root(self, concept_id: str, label: str = "") -> Concept:
+        """Set the root concept; may only be called once."""
+        if self._root is not None:
+            raise TaxonomyError(f"tree {self.name!r} already has a root")
+        concept = Concept(concept_id, label)
+        self._concepts[concept_id] = concept
+        self._parent[concept_id] = None
+        self._children[concept_id] = []
+        self._root = concept_id
+        self._leaf_cache.clear()
+        return concept
+
+    def add_child(self, parent_id: str, concept_id: str, label: str = "") -> Concept:
+        """Attach a new concept under ``parent_id``."""
+        if parent_id not in self._concepts:
+            raise TaxonomyError(f"unknown parent concept {parent_id!r}")
+        if concept_id in self._concepts:
+            raise TaxonomyError(f"duplicate concept {concept_id!r}")
+        concept = Concept(concept_id, label)
+        self._concepts[concept_id] = concept
+        self._parent[concept_id] = parent_id
+        self._children[concept_id] = []
+        self._children[parent_id].append(concept_id)
+        self._leaf_cache.clear()
+        return concept
+
+    def without_node(self, concept_id: str, name: str | None = None) -> "TaxonomyTree":
+        """A new tree with ``concept_id`` removed.
+
+        Children of the removed node are promoted to its parent (the
+        Fig. 10 taxonomy variants: removing an internal concept collapses
+        a level; removing a leaf simply drops it). The root cannot be
+        removed.
+        """
+        if concept_id not in self._concepts:
+            raise TaxonomyError(f"unknown concept {concept_id!r}")
+        if concept_id == self._root:
+            raise TaxonomyError("cannot remove the root concept")
+
+        new_tree = TaxonomyTree(name or f"{self.name}-without-{concept_id}")
+
+        def _copy(node_id: str, parent_id: str | None) -> None:
+            children = list(self._children[node_id])
+            if node_id == concept_id:
+                # Promote children to this node's parent; drop the node.
+                for child in children:
+                    _copy(child, parent_id)
+                return
+            concept = self._concepts[node_id]
+            if parent_id is None:
+                new_tree.add_root(node_id, concept.label)
+            else:
+                new_tree.add_child(parent_id, node_id, concept.label)
+            for child in children:
+                _copy(child, node_id)
+
+        assert self._root is not None
+        _copy(self._root, None)
+        return new_tree
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def root(self) -> str:
+        if self._root is None:
+            raise TaxonomyError(f"tree {self.name!r} has no root")
+        return self._root
+
+    @property
+    def concept_ids(self) -> list[str]:
+        return list(self._concepts)
+
+    def concept(self, concept_id: str) -> Concept:
+        try:
+            return self._concepts[concept_id]
+        except KeyError:
+            raise TaxonomyError(f"unknown concept {concept_id!r}") from None
+
+    def has_concept(self, concept_id: str) -> bool:
+        return concept_id in self._concepts
+
+    def children(self, concept_id: str) -> tuple[str, ...]:
+        """The paper's ``child(c)``."""
+        self.concept(concept_id)
+        return tuple(self._children[concept_id])
+
+    def parent(self, concept_id: str) -> str | None:
+        self.concept(concept_id)
+        return self._parent[concept_id]
+
+    def is_leaf(self, concept_id: str) -> bool:
+        return not self.children(concept_id)
+
+    def depth(self, concept_id: str) -> int:
+        """Number of edges from the root (root has depth 0)."""
+        depth = 0
+        node: str | None = concept_id
+        self.concept(concept_id)
+        while (node := self._parent[node]) is not None:  # type: ignore[index]
+            depth += 1
+        return depth
+
+    def ancestors(self, concept_id: str) -> list[str]:
+        """Concepts subsuming ``concept_id``, nearest first (excl. self)."""
+        self.concept(concept_id)
+        result: list[str] = []
+        node = self._parent[concept_id]
+        while node is not None:
+            result.append(node)
+            node = self._parent[node]
+        return result
+
+    def subsumes(self, ancestor_id: str, descendant_id: str) -> bool:
+        """``descendant ⪯ ancestor`` — reflexive subsumption check."""
+        self.concept(ancestor_id)
+        node: str | None = descendant_id
+        self.concept(descendant_id)
+        while node is not None:
+            if node == ancestor_id:
+                return True
+            node = self._parent[node]
+        return False
+
+    def related(self, c1: str, c2: str) -> bool:
+        """True when one concept subsumes the other (paper's P relation)."""
+        return self.subsumes(c1, c2) or self.subsumes(c2, c1)
+
+    def leaf_set(self, concept_id: str) -> frozenset[str]:
+        """``leaf(c)``: leaves of the subtree rooted at the concept.
+
+        A leaf's own leaf set is the singleton of itself.
+        """
+        cached = self._leaf_cache.get(concept_id)
+        if cached is not None:
+            return cached
+        self.concept(concept_id)
+        children = self._children[concept_id]
+        if not children:
+            leaves = frozenset((concept_id,))
+        else:
+            leaves = frozenset().union(*(self.leaf_set(ch) for ch in children))
+        self._leaf_cache[concept_id] = leaves
+        return leaves
+
+    @property
+    def leaves(self) -> frozenset[str]:
+        """All leaf concepts of the tree."""
+        return self.leaf_set(self.root)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises TaxonomyError on failure."""
+        if self._root is None:
+            raise TaxonomyError(f"tree {self.name!r} has no root")
+        reachable: set[str] = set()
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node in reachable:
+                raise TaxonomyError(f"cycle detected at concept {node!r}")
+            reachable.add(node)
+            stack.extend(self._children[node])
+        orphans = set(self._concepts) - reachable
+        if orphans:
+            raise TaxonomyError(f"unreachable concepts: {sorted(orphans)}")
+
+    def __len__(self) -> int:
+        return len(self._concepts)
+
+    def __iter__(self) -> Iterable[str]:
+        return iter(self._concepts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TaxonomyTree(name={self.name!r}, concepts={len(self)}, "
+            f"leaves={len(self.leaves) if self._root else 0})"
+        )
+
+    def labels(self) -> Mapping[str, str]:
+        """Mapping concept id -> label (for reports)."""
+        return {cid: c.label for cid, c in self._concepts.items()}

@@ -1,0 +1,38 @@
+"""String normalisation, q-grams and string similarity functions.
+
+These are the textual-similarity substrate of the framework (the paper's
+"textual features"): baseline blockers compare blocking-key strings with
+them, and the minhash pipeline shingles records into q-gram sets.
+"""
+
+from repro.text.normalize import normalize
+from repro.text.qgrams import qgram_multiset, qgram_set, qgrams
+from repro.text.jaccard import dice_similarity, jaccard_similarity, qgram_jaccard
+from repro.text.levenshtein import edit_distance, edit_similarity
+from repro.text.jaro import jaro_similarity, jaro_winkler_similarity
+from repro.text.lcs import longest_common_substring, lcs_similarity
+from repro.text.tfidf import TfidfVectorizer, cosine_similarity
+from repro.text.similarity import available_similarities, get_similarity
+from repro.text.phonetic import nysiis, soundex
+
+__all__ = [
+    "normalize",
+    "qgrams",
+    "qgram_set",
+    "qgram_multiset",
+    "jaccard_similarity",
+    "qgram_jaccard",
+    "dice_similarity",
+    "edit_distance",
+    "edit_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "longest_common_substring",
+    "lcs_similarity",
+    "TfidfVectorizer",
+    "cosine_similarity",
+    "get_similarity",
+    "available_similarities",
+    "soundex",
+    "nysiis",
+]

@@ -1,0 +1,42 @@
+"""Jaccard and Dice set similarities over tokens and q-grams."""
+
+from __future__ import annotations
+
+from typing import AbstractSet
+
+from repro.text.qgrams import qgram_set
+
+
+def jaccard_similarity(set1: AbstractSet, set2: AbstractSet) -> float:
+    """Jaccard coefficient ``|A ∩ B| / |A ∪ B|``.
+
+    Two empty sets are defined to have similarity 1.0 (identical).
+    """
+    if not set1 and not set2:
+        return 1.0
+    union = len(set1 | set2)
+    if union == 0:
+        return 1.0
+    return len(set1 & set2) / union
+
+
+def dice_similarity(set1: AbstractSet, set2: AbstractSet) -> float:
+    """Dice coefficient ``2|A ∩ B| / (|A| + |B|)``.
+
+    Used as the "bigram" string comparator of the survey when applied to
+    2-gram sets.
+    """
+    total = len(set1) + len(set2)
+    if total == 0:
+        return 1.0
+    return 2.0 * len(set1 & set2) / total
+
+
+def qgram_jaccard(s1: str, s2: str, q: int, *, padded: bool = False) -> float:
+    """Jaccard similarity of the q-gram sets of two strings."""
+    return jaccard_similarity(qgram_set(s1, q, padded=padded), qgram_set(s2, q, padded=padded))
+
+
+def bigram_similarity(s1: str, s2: str) -> float:
+    """Dice similarity over 2-gram sets (the survey's *bigram* comparator)."""
+    return dice_similarity(qgram_set(s1, 2), qgram_set(s2, 2))

@@ -1,0 +1,60 @@
+"""Longest-common-substring similarity.
+
+The survey's LCS comparator repeatedly extracts the longest common
+substring (of at least ``min_common_len`` characters), removes it from
+both strings, and accumulates the removed lengths; the similarity is the
+accumulated length scaled by the mean string length.
+"""
+
+from __future__ import annotations
+
+
+def longest_common_substring(s1: str, s2: str) -> str:
+    """Return one longest common substring (leftmost in ``s1`` on ties)."""
+    if not s1 or not s2:
+        return ""
+    # Dynamic programming over suffix-match lengths, O(len1 * len2).
+    best_len = 0
+    best_end = 0  # end index in s1 (exclusive)
+    previous = [0] * (len(s2) + 1)
+    for i in range(1, len(s1) + 1):
+        current = [0] * (len(s2) + 1)
+        ch1 = s1[i - 1]
+        for j in range(1, len(s2) + 1):
+            if ch1 == s2[j - 1]:
+                current[j] = previous[j - 1] + 1
+                if current[j] > best_len:
+                    best_len = current[j]
+                    best_end = i
+        previous = current
+    return s1[best_end - best_len : best_end]
+
+
+def lcs_similarity(s1: str, s2: str, *, min_common_len: int = 2) -> float:
+    """Iterated longest-common-substring similarity in [0, 1].
+
+    Common substrings shorter than ``min_common_len`` are ignored, which
+    keeps unrelated strings from accruing similarity one character at a
+    time.
+
+    >>> lcs_similarity("entity resolution", "entity resolution")
+    1.0
+    """
+    if s1 == s2:
+        return 1.0
+    if not s1 or not s2:
+        return 0.0
+
+    total_common = 0
+    left, right = s1, s2
+    while True:
+        common = longest_common_substring(left, right)
+        if len(common) < min_common_len:
+            break
+        total_common += len(common)
+        left = left.replace(common, "", 1)
+        right = right.replace(common, "", 1)
+        if not left or not right:
+            break
+    denominator = (len(s1) + len(s2)) / 2.0
+    return min(1.0, total_common / denominator)

@@ -1,0 +1,40 @@
+"""Levenshtein edit distance and its normalised similarity."""
+
+from __future__ import annotations
+
+
+def edit_distance(s1: str, s2: str) -> int:
+    """Classic Levenshtein distance with O(min(m, n)) memory.
+
+    >>> edit_distance("kitten", "sitting")
+    3
+    """
+    if s1 == s2:
+        return 0
+    # Keep the shorter string in the inner dimension.
+    if len(s1) < len(s2):
+        s1, s2 = s2, s1
+    if not s2:
+        return len(s1)
+
+    previous = list(range(len(s2) + 1))
+    for i, ch1 in enumerate(s1, start=1):
+        current = [i]
+        for j, ch2 in enumerate(s2, start=1):
+            insert_cost = current[j - 1] + 1
+            delete_cost = previous[j] + 1
+            replace_cost = previous[j - 1] + (0 if ch1 == ch2 else 1)
+            current.append(min(insert_cost, delete_cost, replace_cost))
+        previous = current
+    return previous[-1]
+
+
+def edit_similarity(s1: str, s2: str) -> float:
+    """Similarity ``1 - d(s1, s2) / max(|s1|, |s2|)`` in [0, 1].
+
+    Two empty strings have similarity 1.0.
+    """
+    longest = max(len(s1), len(s2))
+    if longest == 0:
+        return 1.0
+    return 1.0 - edit_distance(s1, s2) / longest

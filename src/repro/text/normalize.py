@@ -1,0 +1,34 @@
+"""Text normalisation applied before shingling and key construction."""
+
+from __future__ import annotations
+
+import re
+
+_WHITESPACE = re.compile(r"\s+")
+_PUNCTUATION = re.compile(r"[^\w\s]")
+
+
+def normalize(
+    text: str,
+    *,
+    lowercase: bool = True,
+    strip_punctuation: bool = True,
+    collapse_whitespace: bool = True,
+) -> str:
+    """Normalise a string for comparison.
+
+    The default pipeline lower-cases, removes punctuation and collapses
+    runs of whitespace — the conventional preprocessing for blocking keys
+    (Christen, *Data Matching*, 2012).
+
+    >>> normalize("  The Cascade-Correlation  Learning, Architecture ")
+    'the cascade correlation learning architecture'
+    """
+    result = text
+    if lowercase:
+        result = result.lower()
+    if strip_punctuation:
+        result = _PUNCTUATION.sub(" ", result)
+    if collapse_whitespace:
+        result = _WHITESPACE.sub(" ", result).strip()
+    return result

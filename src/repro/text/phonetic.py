@@ -1,0 +1,123 @@
+"""Phonetic encodings: Soundex and NYSIIS.
+
+Traditional blocking (the survey's TBlo) classically groups records by
+the *phonetic encoding* of a name rather than the raw string, so "Smith"
+and "Smyth" share a block. Both algorithms below follow the standard
+published rules.
+"""
+
+from __future__ import annotations
+
+_SOUNDEX_CODES = {
+    **dict.fromkeys("bfpv", "1"),
+    **dict.fromkeys("cgjkqsxz", "2"),
+    **dict.fromkeys("dt", "3"),
+    **dict.fromkeys("l", "4"),
+    **dict.fromkeys("mn", "5"),
+    **dict.fromkeys("r", "6"),
+}
+
+_VOWELISH = set("aeiouyhw")
+
+
+def soundex(name: str, *, length: int = 4) -> str:
+    """American Soundex code (letter + digits, zero-padded).
+
+    >>> soundex("Robert"), soundex("Rupert")
+    ('R163', 'R163')
+    >>> soundex("smith") == soundex("smyth")
+    True
+    """
+    letters = [ch for ch in name.lower() if ch.isalpha()]
+    if not letters:
+        return "0" * length
+    first = letters[0]
+    code = [first.upper()]
+    previous = _SOUNDEX_CODES.get(first, "")
+    for ch in letters[1:]:
+        digit = _SOUNDEX_CODES.get(ch, "")
+        if digit and digit != previous:
+            code.append(digit)
+            if len(code) == length:
+                break
+        # 'h' and 'w' do not reset the previous code; vowels do.
+        if ch not in "hw":
+            previous = digit
+    return ("".join(code) + "0" * length)[:length]
+
+
+def nysiis(name: str) -> str:
+    """NYSIIS phonetic code (New York State Identification System).
+
+    >>> nysiis("knight") == nysiis("night")
+    True
+    """
+    letters = [ch for ch in name.lower() if ch.isalpha()]
+    if not letters:
+        return ""
+    word = "".join(letters)
+
+    # Initial-letter transformations.
+    for prefix, replacement in (
+        ("mac", "mcc"), ("kn", "nn"), ("k", "c"), ("ph", "ff"),
+        ("pf", "ff"), ("sch", "sss"),
+    ):
+        if word.startswith(prefix):
+            word = replacement + word[len(prefix):]
+            break
+    # Terminal transformations.
+    for suffix, replacement in (
+        ("ee", "y"), ("ie", "y"), ("dt", "d"), ("rt", "d"),
+        ("rd", "d"), ("nt", "d"), ("nd", "d"),
+    ):
+        if word.endswith(suffix):
+            word = word[: -len(suffix)] + replacement
+            break
+
+    first = word[0]
+    encoded = [first]
+    i = 1
+    while i < len(word):
+        ch = word[i]
+        chunk = ch
+        if word[i : i + 2] == "ev":
+            chunk, step = "af", 2
+        elif ch in "aeiou":
+            chunk, step = "a", 1
+        elif ch == "q":
+            chunk, step = "g", 1
+        elif ch == "z":
+            chunk, step = "s", 1
+        elif ch == "m":
+            chunk, step = "n", 1
+        elif word[i : i + 2] == "kn":
+            chunk, step = "n", 2
+        elif ch == "k":
+            chunk, step = "c", 1
+        elif word[i : i + 3] == "sch":
+            chunk, step = "sss", 3
+        elif word[i : i + 2] == "ph":
+            chunk, step = "ff", 2
+        elif ch == "h" and (
+            word[i - 1] not in "aeiou"
+            or (i + 1 < len(word) and word[i + 1] not in "aeiou")
+        ):
+            chunk, step = word[i - 1], 1
+        elif ch == "w" and word[i - 1] in "aeiou":
+            chunk, step = word[i - 1], 1
+        else:
+            step = 1
+        for out in chunk:
+            if out != encoded[-1]:
+                encoded.append(out)
+        i += step
+
+    result = "".join(encoded)
+    # Terminal cleanup: drop trailing s / a, turn trailing ay into y.
+    if result.endswith("s") and len(result) > 1:
+        result = result[:-1]
+    if result.endswith("ay"):
+        result = result[:-2] + "y"
+    if result.endswith("a") and len(result) > 1:
+        result = result[:-1]
+    return result.upper()

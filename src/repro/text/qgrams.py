@@ -1,0 +1,58 @@
+"""Character q-gram extraction.
+
+q-grams (also called n-grams or shingles) are overlapping substrings of
+length ``q``. The paper shingles records into q-grams before minhashing
+(Section 5.1) and tunes ``q`` per dataset from the similarity
+distribution of true matches (Section 6.1: q=4 for Cora, q=2 for
+NC Voter).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+#: Character used to pad strings when ``padded=True``. Normalisation
+#: strips punctuation, so this sentinel cannot occur in normalised text.
+PAD_CHAR = "#"
+
+
+def qgrams(text: str, q: int, *, padded: bool = False) -> list[str]:
+    """Return the list of q-grams of ``text`` in order of occurrence.
+
+    Parameters
+    ----------
+    text:
+        Input string (normalise first if desired).
+    q:
+        Gram length, at least 1.
+    padded:
+        When true, the string is padded with ``q - 1`` sentinel
+        characters on both ends, so boundary characters appear in as
+        many grams as interior ones.
+
+    Strings shorter than ``q`` yield the whole string as a single gram
+    (when non-empty), which keeps very short values comparable.
+
+    >>> qgrams("wang", 2)
+    ['wa', 'an', 'ng']
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    if not text:
+        return []
+    if padded:
+        pad = PAD_CHAR * (q - 1)
+        text = f"{pad}{text}{pad}"
+    if len(text) < q:
+        return [text]
+    return [text[i : i + q] for i in range(len(text) - q + 1)]
+
+
+def qgram_set(text: str, q: int, *, padded: bool = False) -> frozenset[str]:
+    """The set of distinct q-grams of ``text``."""
+    return frozenset(qgrams(text, q, padded=padded))
+
+
+def qgram_multiset(text: str, q: int, *, padded: bool = False) -> Counter:
+    """The multiset (Counter) of q-grams of ``text``."""
+    return Counter(qgrams(text, q, padded=padded))

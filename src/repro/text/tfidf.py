@@ -1,0 +1,74 @@
+"""TF-IDF vectors and cosine similarity.
+
+Canopy clustering (the CaTh / CaNN baselines) optionally compares
+records with TF-IDF cosine over q-gram tokens, matching the survey's
+configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Mapping, Sequence
+
+SparseVector = Mapping[str, float]
+
+
+def cosine_similarity(v1: SparseVector, v2: SparseVector) -> float:
+    """Cosine similarity of two sparse vectors (dicts token -> weight)."""
+    if not v1 or not v2:
+        return 0.0
+    # Iterate over the smaller vector.
+    if len(v1) > len(v2):
+        v1, v2 = v2, v1
+    dot = sum(weight * v2.get(token, 0.0) for token, weight in v1.items())
+    if dot == 0.0:
+        return 0.0
+    norm1 = math.sqrt(sum(w * w for w in v1.values()))
+    norm2 = math.sqrt(sum(w * w for w in v2.values()))
+    return dot / (norm1 * norm2)
+
+
+class TfidfVectorizer:
+    """Fit IDF weights on a corpus of token sequences, then vectorise.
+
+    Uses smoothed IDF ``log((1 + N) / (1 + df)) + 1`` and L2-normalised
+    TF, so vector cosines are in [0, 1].
+    """
+
+    def __init__(self) -> None:
+        self._idf: dict[str, float] = {}
+        self._num_docs = 0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._num_docs > 0
+
+    def fit(self, documents: Iterable[Sequence[str]]) -> "TfidfVectorizer":
+        """Learn IDF weights from an iterable of token sequences."""
+        document_frequency: Counter = Counter()
+        num_docs = 0
+        for tokens in documents:
+            num_docs += 1
+            document_frequency.update(set(tokens))
+        self._num_docs = num_docs
+        self._idf = {
+            token: math.log((1 + num_docs) / (1 + df)) + 1.0
+            for token, df in document_frequency.items()
+        }
+        return self
+
+    def transform(self, tokens: Sequence[str]) -> dict[str, float]:
+        """Vectorise one document; unseen tokens get the maximum IDF."""
+        if not self.is_fitted:
+            raise RuntimeError("TfidfVectorizer.transform called before fit")
+        counts = Counter(tokens)
+        default_idf = math.log((1 + self._num_docs) / 1.0) + 1.0
+        vector = {
+            token: count * self._idf.get(token, default_idf)
+            for token, count in counts.items()
+        }
+        norm = math.sqrt(sum(w * w for w in vector.values()))
+        if norm == 0.0:
+            return {}
+        return {token: w / norm for token, w in vector.items()}

@@ -1,0 +1,12 @@
+"""Small shared utilities: seeded randomness and universal hashing."""
+
+from repro.utils.rand import derive_seed, rng_from_seed
+from repro.utils.hashing import MERSENNE_PRIME_61, UniversalHashFamily, stable_hash
+
+__all__ = [
+    "derive_seed",
+    "rng_from_seed",
+    "MERSENNE_PRIME_61",
+    "UniversalHashFamily",
+    "stable_hash",
+]

@@ -1,0 +1,121 @@
+"""Universal hashing used by minhash and the LSH index.
+
+Minhash needs a family of approximately min-wise independent hash
+functions. We use the classic multiply-add family
+
+    h_i(x) = ((a_i * x + b_i) mod p)
+
+with ``p`` the Mersenne prime 2^61 - 1, which is large enough that
+collisions among shingle ids are negligible and small enough that numpy
+``uint64`` arithmetic stays exact after a modular reduction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.utils.rand import rng_from_seed
+
+#: Mersenne prime 2^61 - 1 used as the modulus of the hash family.
+MERSENNE_PRIME_61 = (1 << 61) - 1
+
+
+def stable_hash(value: str, *, bits: int = 61) -> int:
+    """Hash a string to a stable non-negative integer of ``bits`` bits.
+
+    Python's builtin ``hash`` is salted per process; benchmarks and tests
+    need identical shingle ids across runs, so we use SHA-1.
+    """
+    digest = hashlib.sha1(value.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & ((1 << bits) - 1)
+
+
+class UniversalHashFamily:
+    """A family of ``n`` multiply-add hash functions modulo 2^61 - 1.
+
+    Parameters
+    ----------
+    n:
+        Number of hash functions in the family.
+    seed:
+        Seed for drawing the (a, b) coefficients.
+
+    The family evaluates all ``n`` functions on a vector of inputs at
+    once (used to minhash a record's shingle set in one numpy call).
+    """
+
+    def __init__(self, n: int, seed: int) -> None:
+        if n <= 0:
+            raise ValueError(f"need at least one hash function, got n={n}")
+        rng = rng_from_seed(seed, "universal-hash")
+        self.n = n
+        # a must be non-zero for the family to be universal.
+        self._a = np.array(
+            [rng.randrange(1, MERSENNE_PRIME_61) for _ in range(n)], dtype=np.uint64
+        )
+        self._b = np.array(
+            [rng.randrange(0, MERSENNE_PRIME_61) for _ in range(n)], dtype=np.uint64
+        )
+
+    def min_over(self, values: np.ndarray) -> np.ndarray:
+        """Return ``min_x h_i(x)`` for each function i over input values.
+
+        ``values`` is a 1-D ``uint64`` array of shingle ids already
+        reduced modulo 2^61 - 1. Result is a 1-D array of length ``n``.
+        """
+        if values.size == 0:
+            # Empty shingle sets hash to a sentinel that never collides
+            # with a real minimum (the modulus itself is unreachable).
+            return np.full(self.n, MERSENNE_PRIME_61, dtype=np.uint64)
+        # (n, 1) * (m,) -> (n, m); Python ints avoid uint64 overflow by
+        # doing the multiply in object space only once per family: we use
+        # the identity (a*x + b) mod p computed with 128-bit via float-free
+        # splitting. Simpler: numpy uint64 wraps mod 2^64 which breaks the
+        # algebra, so do the reduction with Python-int math on a per-call
+        # object array only when n*m is small, otherwise use the split trick.
+        return _modmul_add_min(self._a, self._b, values)
+
+    def hash_matrix(self, values: np.ndarray) -> np.ndarray:
+        """Return the full (n, m) matrix of hash values (used in tests)."""
+        a = self._a.astype(object)[:, None]
+        b = self._b.astype(object)[:, None]
+        v = values.astype(object)[None, :]
+        return ((a * v + b) % MERSENNE_PRIME_61).astype(np.uint64)
+
+
+def _modmul_add_min(a: np.ndarray, b: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Compute ``min((a_i * x + b_i) mod p)`` exactly using 64-bit splits.
+
+    Splits each 61-bit operand into 30/31-bit halves so every partial
+    product fits in a uint64, then reduces modulo p = 2^61 - 1 using the
+    Mersenne identity ``2^61 ≡ 1 (mod p)``.
+    """
+    p = np.uint64(MERSENNE_PRIME_61)
+    x = values[None, :]  # (1, m)
+    a_col = a[:, None]  # (n, 1)
+    b_col = b[:, None]  # (n, 1)
+
+    lo_mask = np.uint64((1 << 31) - 1)
+    a_lo = a_col & lo_mask
+    a_hi = a_col >> np.uint64(31)
+    x_lo = x & lo_mask
+    x_hi = x >> np.uint64(31)
+
+    # a*x = a_hi*x_hi*2^62 + (a_hi*x_lo + a_lo*x_hi)*2^31 + a_lo*x_lo
+    # Reduce each term modulo p (2^61 ≡ 1, hence 2^62 ≡ 2).
+    t_hh = (a_hi * x_hi) % p  # < p, times 2^62 ≡ *2
+    t_mid = (a_hi * x_lo + a_lo * x_hi) % p  # times 2^31
+    t_ll = (a_lo * x_lo) % p
+
+    term_hh = (t_hh * np.uint64(2)) % p
+    # t_mid * 2^31 may exceed 64 bits: split t_mid again.
+    m_lo = t_mid & lo_mask
+    m_hi = t_mid >> np.uint64(31)
+    # t_mid * 2^31 = m_hi*2^62 + m_lo*2^31  ->  m_hi*2 + m_lo*2^31 (mod p)
+    term_mid = (m_hi * np.uint64(2) + ((m_lo << np.uint64(31)) % p)) % p
+
+    prod = (term_hh + term_mid + t_ll) % p
+    result = (prod + b_col) % p
+    return result.min(axis=1)

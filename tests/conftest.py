@@ -1,0 +1,68 @@
+"""Shared fixtures: taxonomies, handcrafted records, generated corpora."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    CoraLikeGenerator,
+    NCVoterLikeGenerator,
+    fig1_dataset,
+    fig1_semantic_function,
+)
+from repro.records import Dataset, Record
+from repro.taxonomy.builders import bibliographic_tree, voter_tree
+
+
+@pytest.fixture(scope="session")
+def tbib():
+    return bibliographic_tree()
+
+
+@pytest.fixture(scope="session")
+def tvoter():
+    return voter_tree()
+
+
+@pytest.fixture(scope="session")
+def fig1():
+    return fig1_dataset()
+
+
+@pytest.fixture(scope="session")
+def fig1_sf():
+    return fig1_semantic_function()
+
+
+@pytest.fixture()
+def tiny_dataset() -> Dataset:
+    """Eight handcrafted records over three entities + two singletons."""
+    rows = [
+        ("t1", "alpha beta gamma", "e1"),
+        ("t2", "alpha beta gamma", "e1"),
+        ("t3", "alpha beta gamna", "e1"),
+        ("t4", "delta epsilon zeta", "e2"),
+        ("t5", "delta epsilon zetta", "e2"),
+        ("t6", "eta theta iota", "e3"),
+        ("t7", "kappa lambda mu", "e4"),
+        ("t8", "completely different text", "e5"),
+    ]
+    return Dataset(
+        [
+            Record(rid, {"title": title}, entity_id=entity)
+            for rid, title, entity in rows
+        ],
+        name="tiny",
+    )
+
+
+@pytest.fixture(scope="session")
+def cora_small() -> Dataset:
+    """A small Cora-like corpus for integration-style tests."""
+    return CoraLikeGenerator(num_records=300, num_entities=40, seed=7).generate()
+
+
+@pytest.fixture(scope="session")
+def voter_small() -> Dataset:
+    """A small NC-Voter-like corpus for integration-style tests."""
+    return NCVoterLikeGenerator(num_records=800, seed=7).generate()

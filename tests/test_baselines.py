@@ -1,0 +1,277 @@
+"""Tests for the twelve survey blocking techniques."""
+
+import pytest
+
+from repro.baselines import (
+    AdaptiveSortedNeighbourhood,
+    AllSubstringsBlocker,
+    ArraySortedNeighbourhood,
+    InvertedIndexSortedNeighbourhood,
+    NearestNeighbourCanopy,
+    QGramBlocker,
+    RobustSuffixArrayBlocker,
+    StandardBlocker,
+    StringMapEmbedder,
+    StringMapNNBlocker,
+    StringMapThresholdBlocker,
+    SuffixArrayBlocker,
+    ThresholdCanopy,
+)
+from repro.errors import ConfigurationError
+from repro.records import Dataset, Record
+
+ATTRS = ("name",)
+
+
+def make_dataset(names, entities=None):
+    entities = entities or [None] * len(names)
+    return Dataset(
+        [
+            Record(f"r{i}", {"name": name}, entity_id=entity)
+            for i, (name, entity) in enumerate(zip(names, entities))
+        ]
+    )
+
+
+@pytest.fixture()
+def name_dataset():
+    return make_dataset(
+        ["anna smith", "anna smith", "anna smyth", "bob jones",
+         "bob jones", "carol white", "dave black", "annasmith"],
+        ["e1", "e1", "e1", "e2", "e2", "e3", "e4", "e1"],
+    )
+
+
+class TestStandardBlocker:
+    def test_groups_identical_keys(self, name_dataset):
+        result = StandardBlocker(ATTRS).block(name_dataset)
+        assert ("r0", "r1") in result.distinct_pairs
+
+    def test_typos_split_blocks(self, name_dataset):
+        result = StandardBlocker(ATTRS).block(name_dataset)
+        assert ("r0", "r2") not in result.distinct_pairs
+
+    def test_key_normalisation(self):
+        ds = make_dataset(["Anna-Smith", "anna smith"])
+        result = StandardBlocker(ATTRS).block(ds)
+        assert ("r0", "r1") in result.distinct_pairs
+
+    def test_requires_attributes(self):
+        with pytest.raises(ConfigurationError):
+            StandardBlocker(())
+
+
+class TestSortedNeighbourhood:
+    def test_sora_window_blocks(self, name_dataset):
+        result = ArraySortedNeighbourhood(ATTRS, window=3).block(name_dataset)
+        assert all(len(b) == 3 for b in result.blocks)
+        # Adjacent sorted keys are paired.
+        assert ("r0", "r1") in result.distinct_pairs
+
+    def test_sora_window_too_small(self):
+        with pytest.raises(ConfigurationError):
+            ArraySortedNeighbourhood(ATTRS, window=1)
+
+    def test_sora_dataset_smaller_than_window(self):
+        ds = make_dataset(["a", "b"])
+        result = ArraySortedNeighbourhood(ATTRS, window=5).block(ds)
+        assert result.blocks == (("r0", "r1"),)
+
+    def test_sorii_windows_over_distinct_keys(self):
+        # Five copies of one key should not crowd out the window.
+        ds = make_dataset(["aa"] * 5 + ["ab", "ac"])
+        result = InvertedIndexSortedNeighbourhood(ATTRS, window=2).block(ds)
+        # 'ab' and 'ac' must co-occur in a window even with 'aa' frequent.
+        assert ("r5", "r6") in result.distinct_pairs
+
+    def test_sorii_larger_recall_than_tblo(self, name_dataset):
+        tblo_pairs = StandardBlocker(ATTRS).block(name_dataset).distinct_pairs
+        sorii_pairs = (
+            InvertedIndexSortedNeighbourhood(ATTRS, window=3)
+            .block(name_dataset)
+            .distinct_pairs
+        )
+        assert tblo_pairs <= sorii_pairs
+
+
+class TestAdaptiveSortedNeighbourhood:
+    def test_similar_keys_in_one_segment(self, name_dataset):
+        result = AdaptiveSortedNeighbourhood(
+            ATTRS, similarity="jaro_winkler", threshold=0.9
+        ).block(name_dataset)
+        assert ("r0", "r2") in result.distinct_pairs  # smith ~ smyth
+
+    def test_dissimilar_keys_split(self, name_dataset):
+        result = AdaptiveSortedNeighbourhood(
+            ATTRS, similarity="jaro_winkler", threshold=0.9
+        ).block(name_dataset)
+        assert ("r0", "r6") not in result.distinct_pairs  # anna vs dave
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveSortedNeighbourhood(ATTRS, threshold=0.0)
+
+    def test_max_block_size_respected(self):
+        ds = make_dataset([f"name{i:02d}" for i in range(50)])
+        result = AdaptiveSortedNeighbourhood(
+            ATTRS, similarity="bigram", threshold=0.1, max_block_size=10
+        ).block(ds)
+        assert result.max_block_size <= 10
+
+
+class TestQGramBlocker:
+    def test_recovers_typo_variants(self, name_dataset):
+        # "smith" vs "smyth" alters two 2-grams of nine, so the shared
+        # sub-list has 7 grams: a 0.7 threshold recovers it, 0.8 cannot.
+        loose = QGramBlocker(ATTRS, q=2, threshold=0.7).block(name_dataset)
+        strict = QGramBlocker(ATTRS, q=2, threshold=0.8).block(name_dataset)
+        assert ("r0", "r2") in loose.distinct_pairs
+        assert ("r0", "r2") not in strict.distinct_pairs
+
+    def test_identical_keys_blocked(self, name_dataset):
+        result = QGramBlocker(ATTRS, q=2, threshold=0.9).block(name_dataset)
+        assert ("r0", "r1") in result.distinct_pairs
+
+    def test_max_grams_caps_work(self):
+        ds = make_dataset(["a very long name with many grams indeed", "short"])
+        result = QGramBlocker(ATTRS, q=2, threshold=0.8, max_grams=8).block(ds)
+        assert result is not None  # completes quickly
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            QGramBlocker(ATTRS, q=0)
+        with pytest.raises(ConfigurationError):
+            QGramBlocker(ATTRS, threshold=1.5)
+
+    def test_sublist_lengths_respect_threshold(self):
+        blocker = QGramBlocker(ATTRS, q=2, threshold=0.8)
+        grams = tuple("abcdefghij")  # 10 grams -> min length 8
+        sublists = blocker._sublists(grams)
+        assert all(len(s) >= 8 for s in sublists)
+        assert grams in sublists
+
+
+class TestCanopies:
+    def test_threshold_canopy_groups_similar(self, name_dataset):
+        result = ThresholdCanopy(
+            ATTRS, similarity="jaccard", loose=0.5, tight=0.9, q=2, seed=1
+        ).block(name_dataset)
+        assert ("r0", "r1") in result.distinct_pairs
+
+    def test_threshold_canopy_invalid_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdCanopy(ATTRS, loose=0.9, tight=0.5)
+
+    def test_every_record_leaves_pool(self, name_dataset):
+        result = ThresholdCanopy(
+            ATTRS, similarity="jaccard", loose=0.99, tight=0.99, q=2, seed=2
+        ).block(name_dataset)
+        # Termination even when canopies are singletons (blocks drop them).
+        assert result.num_blocks >= 0
+
+    def test_nn_canopy_sizes(self, name_dataset):
+        result = NearestNeighbourCanopy(
+            ATTRS, similarity="jaccard", n_canopy=3, n_remove=2, q=2, seed=3
+        ).block(name_dataset)
+        assert result.max_block_size <= 4  # seed + n_canopy
+
+    def test_nn_invalid_counts(self):
+        with pytest.raises(ConfigurationError):
+            NearestNeighbourCanopy(ATTRS, n_canopy=2, n_remove=5)
+
+    def test_unknown_similarity(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdCanopy(ATTRS, similarity="cosmic")
+
+    def test_canopy_deterministic(self, name_dataset):
+        r1 = ThresholdCanopy(ATTRS, "jaccard", 0.4, 0.8, q=2, seed=5).block(name_dataset)
+        r2 = ThresholdCanopy(ATTRS, "jaccard", 0.4, 0.8, q=2, seed=5).block(name_dataset)
+        assert r1.distinct_pairs == r2.distinct_pairs
+
+
+class TestStringMap:
+    def test_embedder_identical_strings_same_point(self):
+        import numpy as np
+
+        embedder = StringMapEmbedder("edit", dim=4, seed=1)
+        embedder.fit(["anna", "annA smith", "bob", "carol", "dave"])
+        p1 = embedder.transform("anna")
+        p2 = embedder.transform("anna")
+        assert np.allclose(p1, p2)
+
+    def test_embedder_similar_strings_close(self):
+        import numpy as np
+
+        strings = ["anna smith", "anna smyth", "completely different zz",
+                   "bob jones", "carol white", "dave black"]
+        embedder = StringMapEmbedder("edit", dim=6, seed=2).fit(strings)
+        similar = np.linalg.norm(
+            embedder.transform("anna smith") - embedder.transform("anna smyth")
+        )
+        dissimilar = np.linalg.norm(
+            embedder.transform("anna smith")
+            - embedder.transform("completely different zz")
+        )
+        assert similar < dissimilar
+
+    def test_embedder_transform_before_fit(self):
+        with pytest.raises(ConfigurationError):
+            StringMapEmbedder("edit", dim=2).transform("x")
+
+    def test_stmt_blocks_similar_names(self, name_dataset):
+        result = StringMapThresholdBlocker(
+            ATTRS, similarity="edit", loose=0.6, tight=0.9, dim=4, grid=10, seed=4
+        ).block(name_dataset)
+        assert ("r0", "r1") in result.distinct_pairs
+
+    def test_stmnn_respects_counts(self, name_dataset):
+        result = StringMapNNBlocker(
+            ATTRS, similarity="edit", n_canopy=2, n_remove=1, dim=4, grid=10, seed=5
+        ).block(name_dataset)
+        assert result.max_block_size <= 3
+
+    def test_invalid_grid(self):
+        with pytest.raises(ConfigurationError):
+            StringMapThresholdBlocker(ATTRS, grid=0)
+
+
+class TestSuffixArrays:
+    def test_sua_shared_suffixes_block(self, name_dataset):
+        result = SuffixArrayBlocker(ATTRS, min_length=5, max_block_size=10).block(
+            name_dataset
+        )
+        # 'annasmith' and 'anna smith' share the suffix 'smith' etc.
+        assert ("r0", "r7") in result.distinct_pairs
+
+    def test_sua_max_block_size_drops_common_suffixes(self):
+        ds = make_dataset([f"name {i}" for i in range(20)])
+        result = SuffixArrayBlocker(ATTRS, min_length=3, max_block_size=5).block(ds)
+        assert result.max_block_size <= 5
+
+    def test_suas_substrings_superset_of_suffixes(self, name_dataset):
+        sua = SuffixArrayBlocker(ATTRS, min_length=4, max_block_size=50).block(
+            name_dataset
+        )
+        suas = AllSubstringsBlocker(ATTRS, min_length=4, max_block_size=50).block(
+            name_dataset
+        )
+        assert sua.distinct_pairs <= suas.distinct_pairs
+
+    def test_rsua_merges_similar_suffixes(self):
+        # smith / smyth suffixes are adjacent alphabetically and similar.
+        ds = make_dataset(["smith", "smyth"])
+        plain = SuffixArrayBlocker(ATTRS, min_length=5, max_block_size=10).block(ds)
+        robust = RobustSuffixArrayBlocker(
+            ATTRS, similarity="jaro_winkler", threshold=0.7,
+            min_length=5, max_block_size=10,
+        ).block(ds)
+        assert ("r0", "r1") not in plain.distinct_pairs
+        assert ("r0", "r1") in robust.distinct_pairs
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SuffixArrayBlocker(ATTRS, min_length=0)
+        with pytest.raises(ConfigurationError):
+            SuffixArrayBlocker(ATTRS, max_block_size=1)
+        with pytest.raises(ConfigurationError):
+            RobustSuffixArrayBlocker(ATTRS, threshold=0.0)

@@ -1,0 +1,91 @@
+"""Smoke suite: every one of the 163 grid settings must run correctly.
+
+Each configured blocker is exercised on a small corpus and its output
+checked against the structural invariants every blocking must satisfy:
+only known record ids, no singleton blocks, candidate pairs within Ω,
+determinism across repeated runs. This catches parameter combinations
+that individually-chosen unit tests would miss.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import TECHNIQUE_ORDER, iter_parameter_grid
+from repro.datasets import NCVoterLikeGenerator
+from repro.evaluation import evaluate_blocks
+
+ATTRS = ("first_name", "last_name")
+
+
+@pytest.fixture(scope="module")
+def smoke_dataset():
+    return NCVoterLikeGenerator(num_records=120, seed=17).generate()
+
+
+def _structurally_valid(result, dataset):
+    ids = set(dataset.record_ids)
+    for block in result.blocks:
+        assert len(block) >= 2
+        for record_id in block:
+            assert record_id in ids
+    metrics = evaluate_blocks(result, dataset)
+    assert 0.0 <= metrics.pc <= 1.0
+    assert 0.0 <= metrics.pq <= 1.0
+    assert 0.0 <= metrics.rr <= 1.0
+    return metrics
+
+
+@pytest.mark.parametrize("technique", TECHNIQUE_ORDER)
+def test_every_grid_setting_runs(technique, smoke_dataset):
+    for blocker in iter_parameter_grid(technique, ATTRS):
+        result = blocker.block(smoke_dataset)
+        _structurally_valid(result, smoke_dataset)
+
+
+@pytest.mark.parametrize("technique", ["TBlo", "SorA", "QGr", "SuA", "CaTh"])
+def test_grid_settings_deterministic(technique, smoke_dataset):
+    for blocker in iter_parameter_grid(technique, ATTRS):
+        first = blocker.block(smoke_dataset).distinct_pairs
+        second = blocker.block(smoke_dataset).distinct_pairs
+        assert first == second, blocker.describe()
+
+
+def test_window_growth_monotone_for_sorted_neighbourhood(smoke_dataset):
+    """Wider windows can only add candidate pairs (SorA invariant)."""
+    from repro.baselines import ArraySortedNeighbourhood
+
+    previous = None
+    for window in (2, 3, 5, 7, 10):
+        pairs = (
+            ArraySortedNeighbourhood(ATTRS, window=window)
+            .block(smoke_dataset)
+            .distinct_pairs
+        )
+        if previous is not None:
+            assert previous <= pairs, window
+        previous = pairs
+
+
+def test_suffix_min_length_monotone(smoke_dataset):
+    """Shorter minimum suffixes index more variants, never fewer."""
+    from repro.baselines import SuffixArrayBlocker
+
+    short = SuffixArrayBlocker(ATTRS, min_length=3, max_block_size=1000)
+    long = SuffixArrayBlocker(ATTRS, min_length=5, max_block_size=1000)
+    assert (
+        long.block(smoke_dataset).distinct_pairs
+        <= short.block(smoke_dataset).distinct_pairs
+    )
+
+
+def test_qgram_threshold_monotone(smoke_dataset):
+    """Lower thresholds allow more deletions, never fewer pairs."""
+    from repro.baselines import QGramBlocker
+
+    strict = QGramBlocker(ATTRS, q=2, threshold=0.9)
+    loose = QGramBlocker(ATTRS, q=2, threshold=0.8)
+    assert (
+        strict.block(smoke_dataset).distinct_pairs
+        <= loose.block(smoke_dataset).distinct_pairs
+    )

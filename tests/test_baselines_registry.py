@@ -1,0 +1,65 @@
+"""Tests for the parameter-grid registry (the paper's 163 settings)."""
+
+import pytest
+
+from repro.baselines import (
+    TECHNIQUE_ORDER,
+    iter_parameter_grid,
+    make_blockers,
+    paper_grid_sizes,
+)
+from repro.errors import ConfigurationError
+
+#: Grid sizes claimed in the paper's Table 3.
+PAPER_SIZES = {
+    "TBlo": 1, "SorA": 5, "SorII": 5, "ASor": 8, "QGr": 4, "CaTh": 8,
+    "CaNN": 8, "StMT": 32, "StMNN": 32, "SuA": 6, "SuAS": 6, "RSuA": 48,
+}
+
+
+def test_total_settings_is_163():
+    sizes = paper_grid_sizes()
+    assert sum(sizes.values()) == 163
+
+
+@pytest.mark.parametrize("technique,expected", sorted(PAPER_SIZES.items()))
+def test_per_technique_grid_size(technique, expected):
+    assert paper_grid_sizes()[technique] == expected
+
+
+def test_technique_order_matches_table3():
+    assert TECHNIQUE_ORDER == (
+        "TBlo", "SorA", "SorII", "ASor", "QGr", "CaTh",
+        "CaNN", "StMT", "StMNN", "SuA", "SuAS", "RSuA",
+    )
+
+
+def test_unknown_technique_raises():
+    with pytest.raises(ConfigurationError):
+        list(iter_parameter_grid("LSHish", ("a",)))
+
+
+def test_every_setting_has_distinct_description():
+    for technique in TECHNIQUE_ORDER:
+        descriptions = [
+            blocker.describe()
+            for blocker in iter_parameter_grid(technique, ("name",))
+        ]
+        assert len(descriptions) == len(set(descriptions)), technique
+
+
+def test_make_blockers_truncation():
+    grids = make_blockers(("name",), max_settings=2)
+    assert all(len(blockers) <= 2 for blockers in grids.values())
+    assert len(grids["RSuA"]) == 2
+
+
+def test_make_blockers_subset_of_techniques():
+    grids = make_blockers(("name",), techniques=("TBlo", "SuA"))
+    assert set(grids) == {"TBlo", "SuA"}
+
+
+def test_all_blockers_carry_correct_names():
+    grids = make_blockers(("name",), max_settings=1)
+    for technique, blockers in grids.items():
+        assert blockers[0].name == technique

@@ -1,0 +1,47 @@
+"""Tests for token blocking (the meta-blocking input scheme)."""
+
+import pytest
+
+from repro.baselines import TokenBlocker
+from repro.errors import ConfigurationError
+from repro.records import Dataset, Record
+
+
+def make_dataset(names):
+    return Dataset(
+        [Record(f"r{i}", {"name": n}) for i, n in enumerate(names)]
+    )
+
+
+def test_shared_token_blocks_records():
+    ds = make_dataset(["anna smith", "anna jones", "bob brown"])
+    result = TokenBlocker(("name",)).block(ds)
+    assert ("r0", "r1") in result.distinct_pairs
+    assert ("r0", "r2") not in result.distinct_pairs
+
+
+def test_each_token_is_a_block():
+    ds = make_dataset(["a b", "a b"])
+    result = TokenBlocker(("name",)).block(ds)
+    # Tokens 'a' and 'b' both produce the block {r0, r1}.
+    assert result.num_blocks == 2
+    assert result.num_multiset_comparisons == 2  # redundant by design
+
+
+def test_max_block_size_drops_stopword_blocks():
+    ds = make_dataset([f"common name{i}" for i in range(10)])
+    capped = TokenBlocker(("name",), max_block_size=5).block(ds)
+    uncapped = TokenBlocker(("name",)).block(ds)
+    assert capped.max_block_size <= 5
+    assert uncapped.max_block_size == 10
+
+
+def test_invalid_max_block_size():
+    with pytest.raises(ConfigurationError):
+        TokenBlocker(("name",), max_block_size=1)
+
+
+def test_duplicate_tokens_counted_once():
+    ds = make_dataset(["anna anna", "anna"])
+    result = TokenBlocker(("name",)).block(ds)
+    assert result.blocks == (("r0", "r1"),)

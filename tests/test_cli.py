@@ -1,0 +1,103 @@
+"""Tests for the command-line interface (generate / block / evaluate / resolve)."""
+
+import pytest
+
+from repro.cli import main
+from repro.records import read_csv, read_pairs_csv
+
+
+@pytest.fixture()
+def generated_csv(tmp_path):
+    path = tmp_path / "voters.csv"
+    exit_code = main([
+        "generate", "--kind", "ncvoter", "--records", "300",
+        "--seed", "5", "--out", str(path),
+    ])
+    assert exit_code == 0
+    return path
+
+
+class TestGenerate:
+    def test_generates_requested_records(self, generated_csv):
+        dataset = read_csv(generated_csv)
+        assert len(dataset) == 300
+        assert dataset.num_true_matches > 0
+
+    def test_cora_kind(self, tmp_path):
+        path = tmp_path / "cora.csv"
+        assert main([
+            "generate", "--kind", "cora", "--records", "100", "--out", str(path),
+        ]) == 0
+        dataset = read_csv(path)
+        assert len(dataset) == 100
+        assert any(r.has_value("journal") for r in dataset)
+
+
+class TestBlock:
+    def test_lsh_blocking(self, generated_csv, tmp_path, capsys):
+        pairs_path = tmp_path / "pairs.csv"
+        exit_code = main([
+            "block", "--input", str(generated_csv), "--technique", "lsh",
+            "--attributes", "first_name,last_name",
+            "--q", "2", "--k", "5", "--l", "10",
+            "--out", str(pairs_path),
+        ])
+        assert exit_code == 0
+        assert "candidate pairs" in capsys.readouterr().out
+        assert pairs_path.exists()
+
+    def test_salsh_with_voter_domain(self, generated_csv, tmp_path):
+        pairs_path = tmp_path / "pairs.csv"
+        exit_code = main([
+            "block", "--input", str(generated_csv), "--technique", "salsh",
+            "--attributes", "first_name,last_name", "--domain", "voter",
+            "--q", "2", "--k", "5", "--l", "10",
+            "--out", str(pairs_path),
+        ])
+        assert exit_code == 0
+        assert isinstance(read_pairs_csv(pairs_path), set)
+
+    def test_survey_technique_by_name(self, generated_csv, tmp_path):
+        pairs_path = tmp_path / "pairs.csv"
+        assert main([
+            "block", "--input", str(generated_csv), "--technique", "tblo",
+            "--attributes", "first_name,last_name", "--out", str(pairs_path),
+        ]) == 0
+
+    def test_unknown_technique_fails_cleanly(self, generated_csv, tmp_path, capsys):
+        exit_code = main([
+            "block", "--input", str(generated_csv), "--technique", "wat",
+            "--attributes", "first_name", "--out", str(tmp_path / "x.csv"),
+        ])
+        assert exit_code == 2
+        assert "unknown technique" in capsys.readouterr().err
+
+    def test_empty_attributes_fails_cleanly(self, generated_csv, tmp_path):
+        assert main([
+            "block", "--input", str(generated_csv), "--technique", "lsh",
+            "--attributes", " , ", "--out", str(tmp_path / "x.csv"),
+        ]) == 2
+
+
+class TestEvaluateAndResolve:
+    def test_full_cli_pipeline(self, generated_csv, tmp_path, capsys):
+        pairs_path = tmp_path / "pairs.csv"
+        main([
+            "block", "--input", str(generated_csv), "--technique", "salsh",
+            "--attributes", "first_name,last_name", "--domain", "voter",
+            "--q", "2", "--k", "5", "--l", "10", "--out", str(pairs_path),
+        ])
+        capsys.readouterr()
+
+        assert main([
+            "evaluate", "--input", str(generated_csv), "--pairs", str(pairs_path),
+        ]) == 0
+        assert "PC=" in capsys.readouterr().out
+
+        assert main([
+            "resolve", "--input", str(generated_csv), "--pairs", str(pairs_path),
+            "--attributes", "first_name,last_name", "--threshold", "0.9",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "matched pairs" in out
+        assert "P=" in out

@@ -1,0 +1,64 @@
+"""Tests for the end-to-end pipeline (tune -> gate -> block -> evaluate)."""
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig, run_pipeline, tune_from_dataset
+from repro.errors import ConfigurationError
+from repro.records import Dataset, Record
+from repro.semantic import PatternSemanticFunction, cora_patterns
+from repro.taxonomy.builders import bibliographic_tree
+
+
+CONFIG = PipelineConfig(attributes=("authors", "title"), q=3, seed=5)
+
+
+class TestTuning:
+    def test_tuning_requires_ground_truth(self):
+        unlabelled = Dataset([Record("a", {"title": "x"}), Record("b", {"title": "y"})])
+        with pytest.raises(ConfigurationError):
+            tune_from_dataset(unlabelled, CONFIG)
+
+    def test_tuned_parameters_valid(self, cora_small):
+        params = tune_from_dataset(cora_small, CONFIG)
+        assert params.k >= 1
+        assert params.l >= 1
+        assert 0.0 < params.sl < params.sh <= 1.0
+
+
+class TestPipeline:
+    def test_lsh_pipeline_without_semantics(self, cora_small):
+        report = run_pipeline(cora_small, CONFIG)
+        assert report.gate is None
+        assert report.feature_quality is None
+        assert report.metrics.pc > 0.5
+        assert report.outcome.blocker_name == "LSH"
+
+    def test_salsh_pipeline_auto_gate(self, cora_small, tbib):
+        fn = PatternSemanticFunction(tbib, cora_patterns())
+        report = run_pipeline(cora_small, CONFIG, semantic_function=fn)
+        assert report.gate is not None
+        mode, _ = report.gate
+        # Cora's noisy features must trigger an OR gate (§5.3 step iii).
+        assert mode == "or"
+        assert report.feature_quality is not None
+        assert report.outcome.blocker_name == "SA-LSH"
+
+    def test_pinned_gate_overrides_recommendation(self, cora_small, tbib):
+        fn = PatternSemanticFunction(tbib, cora_patterns())
+        config = PipelineConfig(
+            attributes=("authors", "title"), q=3, seed=5, w=2, mode="and"
+        )
+        report = run_pipeline(cora_small, config, semantic_function=fn)
+        assert report.gate == ("and", 2)
+
+    def test_separate_training_dataset(self, cora_small):
+        training = cora_small.sample(150, seed=1)
+        report = run_pipeline(cora_small, CONFIG, training_dataset=training)
+        assert report.metrics.pc > 0.3
+
+    def test_salsh_improves_objective_over_lsh(self, cora_small, tbib):
+        """The pipeline realises the paper's claim end to end."""
+        fn = PatternSemanticFunction(tbib, cora_patterns())
+        plain = run_pipeline(cora_small, CONFIG)
+        semantic = run_pipeline(cora_small, CONFIG, semantic_function=fn)
+        assert semantic.metrics.pq >= plain.metrics.pq - 0.02

@@ -1,0 +1,95 @@
+"""Tests for γ-robustness estimation and §3 region classification."""
+
+import pytest
+
+from repro.core.robustness import (
+    SimilarityBin,
+    classify_region,
+    estimate_gamma,
+    match_probability_curve,
+)
+from repro.errors import EvaluationError
+
+
+def labelled(*points):
+    return list(points)
+
+
+class TestMatchProbabilityCurve:
+    def test_bins_partition_unit_interval(self):
+        curve = match_probability_curve([(0.05, True), (0.95, False)], num_bins=10)
+        assert len(curve) == 10
+        assert curve[0].lo == 0.0 and curve[-1].hi == 1.0
+
+    def test_counts_and_matches(self):
+        curve = match_probability_curve(
+            [(0.05, True), (0.07, False), (0.95, True)], num_bins=10
+        )
+        assert curve[0].count == 2 and curve[0].matches == 1
+        assert curve[9].count == 1 and curve[9].matches == 1
+
+    def test_similarity_one_lands_in_last_bin(self):
+        curve = match_probability_curve([(1.0, True)], num_bins=4)
+        assert curve[3].count == 1
+
+    def test_match_probability(self):
+        bin_ = SimilarityBin(0.0, 0.1, count=4, matches=1)
+        assert bin_.match_probability == 0.25
+
+    def test_empty_bin_probability_zero(self):
+        assert SimilarityBin(0.0, 0.1, 0, 0).match_probability == 0.0
+
+    def test_out_of_range_similarity_raises(self):
+        with pytest.raises(EvaluationError):
+            match_probability_curve([(1.5, True)])
+
+    def test_invalid_bins_raises(self):
+        with pytest.raises(EvaluationError):
+            match_probability_curve([], num_bins=0)
+
+
+class TestEstimateGamma:
+    def test_perfectly_monotone_curve_gamma_one(self):
+        samples = [(0.1, False)] * 50 + [(0.9, True)] * 50
+        curve = match_probability_curve(samples)
+        assert estimate_gamma(curve) == 1.0
+
+    def test_violation_reduces_gamma(self):
+        # High probability at low similarity, low at high similarity.
+        samples = [(0.05, True)] * 10 + [(0.95, False)] * 10
+        curve = match_probability_curve(samples)
+        gamma = estimate_gamma(curve)
+        assert gamma == pytest.approx(1.0 - 0.9)
+
+    def test_tolerance_forgives_small_dips(self):
+        samples = (
+            [(0.1, False)] * 9 + [(0.1, True)]  # p = 0.1
+            + [(0.9, True)] * 19 + [(0.9, False)]  # p = 0.95 < dip below
+        )
+        curve = match_probability_curve(samples)
+        assert estimate_gamma(curve, tolerance=0.2) == 1.0
+
+    def test_min_count_ignores_sparse_bins(self):
+        samples = [(0.05, True)] + [(0.95, False)] * 100
+        curve = match_probability_curve(samples)
+        assert estimate_gamma(curve, min_count=10) == 1.0
+
+    def test_gamma_in_unit_interval(self):
+        samples = [(i / 100, i % 3 == 0) for i in range(100)]
+        curve = match_probability_curve(samples)
+        assert 0.0 <= estimate_gamma(curve) <= 1.0
+
+
+class TestClassifyRegion:
+    def test_three_regions(self):
+        assert classify_region(0.1, 0.3, 0.6) == "high"
+        assert classify_region(0.5, 0.3, 0.6) == "uncertain"
+        assert classify_region(0.7, 0.3, 0.6) == "low"
+
+    def test_boundaries(self):
+        assert classify_region(0.3, 0.3, 0.6) == "high"
+        assert classify_region(0.6, 0.3, 0.6) == "uncertain"
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(EvaluationError):
+            classify_region(0.5, 0.7, 0.3)

@@ -1,0 +1,101 @@
+"""Tests for §5.3 parameter tuning — including the paper's exact ladder."""
+
+import math
+
+import pytest
+
+from repro.core.tuning import (
+    allowed_tables,
+    determine_kl,
+    determine_sh,
+    kl_ladder,
+    required_tables,
+)
+from repro.errors import ConfigurationError
+from repro.lsh.collision import banded_collision_probability
+
+
+class TestDetermineSh:
+    def test_quantile_semantics(self):
+        sims = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+        # 5% of 10 samples -> index 0: sh is the smallest similarity.
+        assert determine_sh(sims, 0.05) == 0.1
+        # 30% -> index 3.
+        assert determine_sh(sims, 0.30) == 0.4
+
+    def test_zero_epsilon_gives_minimum(self):
+        assert determine_sh([0.5, 0.2, 0.9], 0.0) == 0.2
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ConfigurationError):
+            determine_sh([], 0.05)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            determine_sh([0.5], 1.0)
+
+
+class TestRequiredTables:
+    def test_paper_cora_value(self):
+        assert required_tables(0.3, 4, 0.4) == 63
+
+    def test_result_actually_reaches_target(self):
+        for k in range(1, 8):
+            l = required_tables(0.3, k, 0.4)
+            assert banded_collision_probability(0.3, k, l) >= 0.4
+            if l > 1:
+                assert banded_collision_probability(0.3, k, l - 1) < 0.4
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            required_tables(0.0, 2, 0.4)
+        with pytest.raises(ConfigurationError):
+            required_tables(0.3, 0, 0.4)
+        with pytest.raises(ConfigurationError):
+            required_tables(0.3, 2, 1.0)
+
+
+class TestAllowedTables:
+    def test_upper_bound_respects_limit(self):
+        upper = allowed_tables(0.2, 4, 0.1)
+        assert banded_collision_probability(0.2, 4, int(upper)) <= 0.1
+
+    def test_zero_similarity_unbounded(self):
+        assert allowed_tables(0.0, 3, 0.1) == math.inf
+
+
+class TestDetermineKl:
+    def test_paper_cora_selection(self):
+        """sh=0.3, sl=0.2, ph=0.4, pl=0.1 -> (k=4, l=63) as in §6.1."""
+        params = determine_kl(0.3, 0.2, 0.4, 0.1)
+        assert (params.k, params.l) == (4, 63)
+
+    def test_k3_is_infeasible_for_cora_inputs(self):
+        assert required_tables(0.3, 3, 0.4) > allowed_tables(0.2, 3, 0.1)
+
+    def test_selection_satisfies_both_constraints(self):
+        params = determine_kl(0.35, 0.15, 0.5, 0.05)
+        assert banded_collision_probability(0.35, params.k, params.l) >= 0.5
+        assert banded_collision_probability(0.15, params.k, params.l) <= 0.05
+
+    def test_invalid_threshold_order(self):
+        with pytest.raises(ConfigurationError):
+            determine_kl(0.2, 0.3, 0.4, 0.1)
+
+    def test_infeasible_raises(self):
+        # sl almost equal to sh with tight probabilities cannot separate.
+        with pytest.raises(ConfigurationError):
+            determine_kl(0.300001, 0.3, 0.99, 0.01, max_k=4)
+
+
+class TestKlLadder:
+    def test_paper_fig6_ladder(self):
+        """The exact (k, l) pairs of Fig. 6 / Fig. 9 (a)-(c)."""
+        assert kl_ladder(0.3, 0.4, range(1, 7)) == [
+            (1, 2), (2, 6), (3, 19), (4, 63), (5, 210), (6, 701),
+        ]
+
+    def test_ladder_monotone_in_k(self):
+        ladder = kl_ladder(0.25, 0.5, range(1, 10))
+        ls = [l for _, l in ladder]
+        assert ls == sorted(ls)

@@ -1,0 +1,170 @@
+"""Tests for the corruption engine and both dataset generators."""
+
+import pytest
+
+from repro.datasets import (
+    CoraLikeGenerator,
+    Corruptor,
+    NCVoterLikeGenerator,
+    fig1_dataset,
+    fig1_semantic_function,
+)
+from repro.errors import DatasetError
+from repro.semantic import PatternSemanticFunction, cora_patterns
+from repro.taxonomy.builders import bibliographic_tree
+from repro.utils.rand import rng_from_seed
+
+
+def corruptor(seed=0):
+    return Corruptor(rng_from_seed(seed, "test"))
+
+
+class TestCorruptor:
+    def test_typo_insert_lengthens(self):
+        assert len(corruptor().typo_insert("abc")) == 4
+
+    def test_typo_delete_shortens(self):
+        assert len(corruptor().typo_delete("abc")) == 2
+
+    def test_typo_delete_empty_noop(self):
+        assert corruptor().typo_delete("") == ""
+
+    def test_typo_substitute_same_length(self):
+        text = "hello"
+        assert len(corruptor().typo_substitute(text)) == len(text)
+
+    def test_typo_transpose_preserves_characters(self):
+        result = corruptor().typo_transpose("abcd")
+        assert sorted(result) == list("abcd")
+
+    def test_transpose_short_noop(self):
+        assert corruptor().typo_transpose("a") == "a"
+
+    def test_ocr_error_applies_known_confusion(self):
+        result = corruptor().ocr_error("modern")
+        assert result != "modern" or "m" not in "modern"
+
+    def test_drop_token_keeps_at_least_one(self):
+        assert corruptor().drop_token("single") == "single"
+        assert len(corruptor().drop_token("two words").split()) == 1
+
+    def test_swap_tokens(self):
+        result = corruptor(3).swap_tokens("qing wang")
+        assert sorted(result.split()) == ["qing", "wang"]
+
+    def test_abbreviate_token(self):
+        result = corruptor().abbreviate_token("christian lebiere")
+        assert "." in result
+
+    def test_deterministic_given_same_stream(self):
+        c1, c2 = corruptor(9), corruptor(9)
+        assert c1.character_noise("entity resolution", 2) == c2.character_noise(
+            "entity resolution", 2
+        )
+
+    def test_maybe_respects_extremes(self):
+        c = corruptor()
+        assert not c.maybe(0.0)
+        assert c.maybe(1.0)
+
+
+class TestCoraGenerator:
+    def test_sizes(self, cora_small):
+        assert len(cora_small) == 300
+        assert len(cora_small.clusters) == 40
+
+    def test_deterministic(self):
+        g = CoraLikeGenerator(num_records=100, num_entities=20, seed=3)
+        d1, d2 = g.generate(), g.generate()
+        assert [r.fields for r in d1] == [r.fields for r in d2]
+
+    def test_different_seeds_differ(self):
+        d1 = CoraLikeGenerator(num_records=100, num_entities=20, seed=1).generate()
+        d2 = CoraLikeGenerator(num_records=100, num_entities=20, seed=2).generate()
+        assert [r.fields for r in d1] != [r.fields for r in d2]
+
+    def test_invalid_sizes(self):
+        with pytest.raises(DatasetError):
+            CoraLikeGenerator(num_records=5, num_entities=10).generate()
+
+    def test_every_record_matches_a_table1_pattern(self, cora_small):
+        """Table 1's pattern set is complete over the generated corpus."""
+        fn = PatternSemanticFunction(bibliographic_tree(), cora_patterns())
+        for record in cora_small:
+            assert fn.matching_pattern(record) is not None
+
+    def test_duplicates_share_entity_and_differ_textually_sometimes(self, cora_small):
+        clusters = [ids for ids in cora_small.clusters.values() if len(ids) >= 3]
+        assert clusters, "expected at least one cluster of size >= 3"
+        some_cluster = clusters[0]
+        titles = {cora_small[rid].get("title") for rid in some_cluster}
+        assert len(titles) >= 1  # may collapse, but must exist
+
+    def test_heavy_duplication(self, cora_small):
+        # Cora-like data must contain large clusters (skewed sizes).
+        largest = max(len(ids) for ids in cora_small.clusters.values())
+        assert largest >= 10
+
+    def test_venue_types_drive_missing_values(self):
+        ds = CoraLikeGenerator(num_records=400, num_entities=80, seed=5).generate()
+        with_journal = sum(1 for r in ds if r.has_value("journal"))
+        with_booktitle = sum(1 for r in ds if r.has_value("booktitle"))
+        with_institution = sum(1 for r in ds if r.has_value("institution"))
+        assert with_journal > 0 and with_booktitle > 0 and with_institution > 0
+
+
+class TestNCVoterGenerator:
+    def test_sizes_and_duplicates(self, voter_small):
+        assert len(voter_small) == 800
+        # 10% duplicates -> 720 entities.
+        assert len(voter_small.clusters) == 720
+
+    def test_deterministic(self):
+        g = NCVoterLikeGenerator(num_records=200, seed=4)
+        assert [r.fields for r in g.generate()] == [r.fields for r in g.generate()]
+
+    def test_uncertain_rates_materialise(self):
+        ds = NCVoterLikeGenerator(num_records=2000, seed=6).generate()
+        genders = [r.get("gender") for r in ds]
+        races = [r.get("race") for r in ds]
+        assert 0.01 < genders.count("u") / len(genders) < 0.15
+        assert 0.05 < races.count("u") / len(races) < 0.25
+
+    def test_exact_duplicate_fraction(self):
+        ds = NCVoterLikeGenerator(
+            num_records=2000, seed=8, exact_duplicate_fraction=1.0
+        ).generate()
+        for id1, id2 in ds.true_matches:
+            r1, r2 = ds[id1], ds[id2]
+            assert r1.get("first_name") == r2.get("first_name")
+            assert r1.get("last_name") == r2.get("last_name")
+
+    def test_invalid_fraction(self):
+        with pytest.raises(DatasetError):
+            NCVoterLikeGenerator(num_records=10, duplicate_fraction=1.0).generate()
+
+    def test_race_values_are_known_codes(self, voter_small):
+        valid = set("wbaimou")
+        for record in voter_small:
+            assert record.get("race") in valid
+
+
+class TestFig1:
+    def test_six_records(self, fig1):
+        assert len(fig1) == 6
+        assert fig1.record_ids == ["r1", "r2", "r3", "r4", "r5", "r6"]
+
+    def test_ground_truth_cluster(self, fig1):
+        assert fig1.is_true_match("r1", "r2")
+        assert fig1.is_true_match("r1", "r6")
+        assert not fig1.is_true_match("r1", "r4")
+
+    def test_interpretations_follow_example_4_2(self, fig1, fig1_sf):
+        expected = {
+            "r1": {"c4"}, "r2": {"c2"}, "r3": {"c4"},
+            "r4": {"c7"}, "r5": {"c7"}, "r6": {"c0"},
+        }
+        for record in fig1:
+            assert fig1_sf.interpret(record) == frozenset(
+                expected[record.record_id]
+            ), record.record_id

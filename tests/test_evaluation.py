@@ -1,0 +1,148 @@
+"""Tests for PC/PQ/RR/FM metrics, the runner and report tables."""
+
+import pytest
+
+from repro.core.base import Blocker, BlockingResult
+from repro.errors import EvaluationError
+from repro.evaluation import (
+    best_by,
+    evaluate_blocks,
+    format_table,
+    run_blocking,
+)
+from repro.evaluation.runner import run_all
+from repro.records import Dataset, Record
+
+
+def dataset():
+    """4 records, entities: {a, b} match, {c, d} match."""
+    return Dataset(
+        [
+            Record("a", {"x": "1"}, entity_id="e1"),
+            Record("b", {"x": "2"}, entity_id="e1"),
+            Record("c", {"x": "3"}, entity_id="e2"),
+            Record("d", {"x": "4"}, entity_id="e2"),
+        ]
+    )
+
+
+class TestEvaluateBlocks:
+    def test_perfect_blocking(self):
+        result = BlockingResult("perfect", (("a", "b"), ("c", "d")))
+        metrics = evaluate_blocks(result, dataset())
+        assert metrics.pc == 1.0
+        assert metrics.pq == 1.0
+        assert metrics.fm == 1.0
+        # 2 of 6 total pairs -> RR = 2/3.
+        assert metrics.rr == pytest.approx(2 / 3)
+
+    def test_partial_recall(self):
+        result = BlockingResult("half", (("a", "b"),))
+        metrics = evaluate_blocks(result, dataset())
+        assert metrics.pc == 0.5
+        assert metrics.pq == 1.0
+        assert metrics.fm == pytest.approx(2 / 3)
+
+    def test_impure_block(self):
+        result = BlockingResult("one-big", (("a", "b", "c", "d"),))
+        metrics = evaluate_blocks(result, dataset())
+        assert metrics.pc == 1.0
+        assert metrics.pq == pytest.approx(2 / 6)
+        assert metrics.rr == 0.0
+
+    def test_pq_star_counts_redundancy(self):
+        # The same true pair in two blocks: PQ uses distinct pairs,
+        # PQ* the multiset.
+        result = BlockingResult("dup", (("a", "b"), ("a", "b")))
+        metrics = evaluate_blocks(result, dataset())
+        assert metrics.pq == 1.0
+        assert metrics.pq_star == 0.5
+        assert metrics.fm_star < metrics.fm
+
+    def test_empty_blocking(self):
+        metrics = evaluate_blocks(BlockingResult("none", ()), dataset())
+        assert metrics.pc == 0.0
+        assert metrics.pq == 0.0
+        assert metrics.fm == 0.0
+        assert metrics.rr == 1.0
+
+    def test_unknown_record_rejected(self):
+        result = BlockingResult("bad", (("a", "zzz"),))
+        with pytest.raises(EvaluationError):
+            evaluate_blocks(result, dataset())
+
+    def test_counts_exposed(self):
+        result = BlockingResult("x", (("a", "b", "c"),))
+        metrics = evaluate_blocks(result, dataset())
+        assert metrics.num_blocks == 1
+        assert metrics.num_distinct_pairs == 3
+        assert metrics.num_multiset_pairs == 3
+        assert metrics.num_true_positives == 1
+        assert metrics.max_block_size == 3
+
+    def test_str_is_informative(self):
+        metrics = evaluate_blocks(BlockingResult("x", (("a", "b"),)), dataset())
+        text = str(metrics)
+        assert "PC=" in text and "FM=" in text
+
+
+class _FixedBlocker(Blocker):
+    def __init__(self, name, blocks):
+        self.name = name
+        self._blocks = blocks
+
+    def block(self, ds):
+        return BlockingResult(self.name, self._blocks)
+
+
+class TestRunner:
+    def test_run_blocking_times_and_evaluates(self):
+        result = run_blocking(_FixedBlocker("f", (("a", "b"),)), dataset())
+        assert result.seconds >= 0.0
+        assert result.metrics.pc == 0.5
+        assert result.blocker_name == "f"
+
+    def test_run_all_order(self):
+        results = run_all(
+            [_FixedBlocker("1", ()), _FixedBlocker("2", (("a", "b"),))], dataset()
+        )
+        assert [r.blocker_name for r in results] == ["1", "2"]
+
+    def test_best_by_fm(self):
+        results = run_all(
+            [
+                _FixedBlocker("low", (("a", "c"),)),
+                _FixedBlocker("high", (("a", "b"), ("c", "d"))),
+            ],
+            dataset(),
+        )
+        assert best_by(results, "fm").blocker_name == "high"
+
+    def test_best_by_unknown_measure(self):
+        results = run_all([_FixedBlocker("x", ())], dataset())
+        with pytest.raises(EvaluationError):
+            best_by(results, "nope")
+
+    def test_best_by_empty(self):
+        with pytest.raises(EvaluationError):
+            best_by([], "fm")
+
+    def test_sf_seconds_zero_for_plain_blockers(self):
+        result = run_blocking(_FixedBlocker("f", ()), dataset())
+        assert result.sf_seconds == 0.0
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        table = format_table(["name", "pc"], [["LSH", 0.5]], float_digits=2)
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "0.50" in lines[2]
+
+    def test_title_included(self):
+        table = format_table(["a"], [[1]], title="Table 1")
+        assert table.splitlines()[0] == "Table 1"
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table

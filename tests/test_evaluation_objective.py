@@ -1,0 +1,73 @@
+"""Tests for the Eq. 2 blocking objective."""
+
+import pytest
+
+from repro.core.base import BlockingResult
+from repro.errors import EvaluationError
+from repro.evaluation import blocking_objective
+from repro.records import Dataset, Record
+
+
+def dataset():
+    return Dataset(
+        [
+            Record("a", {}, entity_id="e1"),
+            Record("b", {}, entity_id="e1"),
+            Record("c", {}, entity_id="e2"),
+            Record("d", {}, entity_id="e2"),
+        ]
+    )
+
+
+def test_perfect_blocking_objective_zero_and_feasible():
+    result = BlockingResult("x", (("a", "b"), ("c", "d")))
+    value = blocking_objective(result, dataset(), epsilon=0.0)
+    assert value.non_match_share == 0.0
+    assert value.match_loss == 0.0
+    assert value.feasible
+
+
+def test_impure_blocking_has_positive_objective():
+    result = BlockingResult("x", (("a", "b", "c", "d"),))
+    value = blocking_objective(result, dataset(), epsilon=0.1)
+    assert value.non_match_share == pytest.approx(4 / 6)
+    assert value.feasible  # PC = 1
+
+
+def test_lossy_blocking_infeasible_below_epsilon():
+    result = BlockingResult("x", (("a", "b"),))  # loses (c, d)
+    value = blocking_objective(result, dataset(), epsilon=0.25)
+    assert value.match_loss == 0.5
+    assert not value.feasible
+    relaxed = blocking_objective(result, dataset(), epsilon=0.5)
+    assert relaxed.feasible
+
+
+def test_empty_blocking_infeasible():
+    value = blocking_objective(BlockingResult("x", ()), dataset(), epsilon=0.1)
+    assert value.match_loss == 1.0
+    assert not value.feasible
+    assert value.non_match_share == 0.0
+
+
+def test_invalid_epsilon():
+    with pytest.raises(EvaluationError):
+        blocking_objective(BlockingResult("x", ()), dataset(), epsilon=1.5)
+
+
+def test_objective_prefers_salsh_over_lsh(cora_small):
+    """The SA-LSH gate lowers the Eq. 2 objective at similar loss —
+    the formal version of the paper's PQ claim."""
+    from repro.core import LSHBlocker, SALSHBlocker
+    from repro.semantic import PatternSemanticFunction, cora_patterns
+    from repro.taxonomy.builders import bibliographic_tree
+
+    sf = PatternSemanticFunction(bibliographic_tree(), cora_patterns())
+    lsh = LSHBlocker(("authors", "title"), q=3, k=3, l=19, seed=5)
+    salsh = SALSHBlocker(
+        ("authors", "title"), q=3, k=3, l=19, seed=5,
+        semantic_function=sf, w="all", mode="or",
+    )
+    obj_lsh = blocking_objective(lsh.block(cora_small), cora_small, 0.2)
+    obj_salsh = blocking_objective(salsh.block(cora_small), cora_small, 0.2)
+    assert obj_salsh.non_match_share <= obj_lsh.non_match_share

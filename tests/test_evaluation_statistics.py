@@ -1,0 +1,76 @@
+"""Tests for seed sweeps and bootstrap confidence intervals."""
+
+import pytest
+
+from repro.core import LSHBlocker
+from repro.errors import EvaluationError
+from repro.evaluation.statistics import (
+    bootstrap_difference,
+    seed_sweep,
+    summarise,
+)
+
+
+class TestSeedSweep:
+    def test_sweep_runs_every_seed(self, tiny_dataset):
+        metrics = seed_sweep(
+            lambda seed: LSHBlocker(("title",), q=2, k=2, l=4, seed=seed),
+            tiny_dataset,
+            seeds=range(3),
+        )
+        assert len(metrics) == 3
+
+    def test_summarise_mean_std(self, tiny_dataset):
+        metrics = seed_sweep(
+            lambda seed: LSHBlocker(("title",), q=2, k=2, l=4, seed=seed),
+            tiny_dataset,
+            seeds=range(4),
+        )
+        summary = summarise(metrics, "pc")
+        assert 0.0 <= summary.mean <= 1.0
+        assert summary.n == 4
+        assert summary.minimum <= summary.mean <= summary.maximum
+
+    def test_summarise_unknown_metric(self, tiny_dataset):
+        metrics = seed_sweep(
+            lambda seed: LSHBlocker(("title",), q=2, k=2, l=2, seed=seed),
+            tiny_dataset,
+            seeds=[0],
+        )
+        with pytest.raises(EvaluationError):
+            summarise(metrics, "nope")
+
+    def test_summarise_empty(self):
+        with pytest.raises(EvaluationError):
+            summarise([], "pc")
+
+
+class TestBootstrap:
+    def test_clear_separation_excludes_zero(self):
+        a = [0.9, 0.92, 0.88, 0.91, 0.9]
+        b = [0.5, 0.52, 0.48, 0.51, 0.5]
+        point, lower, upper = bootstrap_difference(a, b, seed=1)
+        assert point == pytest.approx(0.4, abs=1e-9)
+        assert lower > 0.0
+
+    def test_identical_samples_straddle_zero(self):
+        a = [0.5, 0.6, 0.55, 0.45, 0.5, 0.58]
+        point, lower, upper = bootstrap_difference(a, list(a), seed=2)
+        assert lower <= 0.0 <= upper
+
+    def test_deterministic_given_seed(self):
+        a, b = [0.2, 0.3, 0.25], [0.1, 0.15, 0.12]
+        assert bootstrap_difference(a, b, seed=3) == bootstrap_difference(
+            a, b, seed=3
+        )
+
+    def test_interval_ordering(self):
+        a, b = [0.4, 0.6, 0.5], [0.3, 0.5, 0.4]
+        _, lower, upper = bootstrap_difference(a, b, seed=4)
+        assert lower <= upper
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EvaluationError):
+            bootstrap_difference([], [0.1])
+        with pytest.raises(EvaluationError):
+            bootstrap_difference([0.1], [0.2], confidence=1.5)

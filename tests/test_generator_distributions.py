@@ -1,0 +1,136 @@
+"""Distributional checks on the synthetic generators.
+
+The substitutions in DESIGN.md are only valid if the generators really
+produce the properties the experiments depend on. These tests pin those
+properties down quantitatively so a regression in the generators cannot
+silently invalidate the benchmark shapes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.datasets import CoraLikeGenerator, NCVoterLikeGenerator
+from repro.minhash import Shingler
+
+
+class TestCoraProperties:
+    @pytest.fixture(scope="class")
+    def cora(self):
+        return CoraLikeGenerator(num_records=1879, num_entities=190, seed=3).generate()
+
+    def test_cluster_size_skew(self, cora):
+        """Real Cora has a few huge clusters; the mean is ~10."""
+        sizes = sorted((len(m) for m in cora.clusters.values()), reverse=True)
+        assert sizes[0] >= 30
+        mean = sum(sizes) / len(sizes)
+        assert 7.0 <= mean <= 13.0
+
+    def test_true_match_similarity_spread(self, cora):
+        """Dirty duplicates: true-match q=4 Jaccard must spread well
+        below 1.0 (this is what makes sh=0.3-style thresholds sane)."""
+        shingler = Shingler(("authors", "title"), q=4)
+        sims = [
+            shingler.jaccard(cora[a], cora[b])
+            for a, b in sorted(cora.true_matches)[:2000]
+        ]
+        below_07 = sum(1 for s in sims if s < 0.7) / len(sims)
+        assert below_07 > 0.2
+
+    def test_cross_entity_title_confusability(self, cora):
+        """Related titles across entities (the Fig. 1 situation) must
+        exist: some non-match pairs are textually similar."""
+        shingler = Shingler(("title",), q=4)
+        records = list(cora)[:400]
+        confusable = 0
+        for i, r1 in enumerate(records):
+            for r2 in records[i + 1 : i + 40]:
+                if r1.entity_id != r2.entity_id and shingler.jaccard(r1, r2) > 0.5:
+                    confusable += 1
+        assert confusable > 0
+
+    def test_venue_type_coverage(self, cora):
+        """All Table 1 pattern families must be populated."""
+        journal = sum(1 for r in cora if r.has_value("journal"))
+        booktitle = sum(1 for r in cora if r.has_value("booktitle"))
+        institution = sum(1 for r in cora if r.has_value("institution"))
+        none = sum(
+            1 for r in cora
+            if not any(r.has_value(a) for a in ("journal", "booktitle", "institution"))
+        )
+        for share in (journal, booktitle, institution, none):
+            assert share > len(cora) * 0.02
+
+    def test_semantic_noise_exists_within_clusters(self, cora):
+        """Some duplicates disagree on their venue pattern (the §6.3.2
+        premise for Cora's PC gap)."""
+        disagreements = 0
+        for members in cora.clusters.values():
+            patterns = {
+                tuple(cora[rid].has_value(a) for a in ("journal", "booktitle", "institution"))
+                for rid in members
+            }
+            if len(patterns) > 1:
+                disagreements += 1
+        assert disagreements > 0
+
+
+class TestVoterProperties:
+    @pytest.fixture(scope="class")
+    def voter(self):
+        return NCVoterLikeGenerator(num_records=5000, seed=3).generate()
+
+    def test_low_duplication(self, voter):
+        assert len(voter.clusters) == pytest.approx(4500, abs=1)
+
+    def test_name_frequency_skew(self, voter):
+        """A Zipf-ish head: common surnames cover a visible share."""
+        last_names = Counter(r.get("last_name") for r in voter)
+        top30 = sum(count for _, count in last_names.most_common(30))
+        assert top30 / len(voter) > 0.2
+        # ...but names are still high-cardinality overall.
+        assert len(last_names) > 500
+
+    def test_exact_and_typo_duplicates_mix(self, voter):
+        exact = 0
+        typo = 0
+        for id1, id2 in voter.true_matches:
+            r1, r2 = voter[id1], voter[id2]
+            same = (
+                r1.get("first_name") == r2.get("first_name")
+                and r1.get("last_name") == r2.get("last_name")
+            )
+            if same:
+                exact += 1
+            else:
+                typo += 1
+        assert exact > 0 and typo > 0
+        assert 0.3 <= exact / (exact + typo) <= 0.7
+
+    def test_semantic_attributes_rarely_contradict(self, voter):
+        """Uncertain, not noisy (§6.2): duplicates may read 'u' but
+        should almost never carry two *different known* race values."""
+        contradictions = 0
+        comparable = 0
+        for id1, id2 in voter.true_matches:
+            race1, race2 = voter[id1].get("race"), voter[id2].get("race")
+            if race1 != "u" and race2 != "u":
+                comparable += 1
+                if race1 != race2:
+                    contradictions += 1
+        assert comparable > 0
+        assert contradictions / comparable < 0.02
+
+    def test_gender_matches_first_name_pool(self, voter):
+        """Known-gender records draw names from the right pool."""
+        from repro.datasets import wordpools
+
+        male = set(wordpools.VOTER_FIRST_M)
+        female = set(wordpools.VOTER_FIRST_F)
+        for record in list(voter)[:500]:
+            gender = record.get("gender")
+            name = record.get("first_name")
+            if gender == "m" and name in (male | female):
+                assert name in male or name not in female

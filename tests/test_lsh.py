@@ -1,0 +1,168 @@
+"""Tests for the LSH substrate: sensitivity, bands, index, collision math."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lsh import (
+    BandedLSHIndex,
+    SensitivityParams,
+    amplify_sensitivity,
+    band_keys,
+    banded_collision_probability,
+    salsh_collision_probability,
+    split_bands,
+    wway_collision_probability,
+)
+
+
+class TestSensitivity:
+    def test_valid_params(self):
+        params = SensitivityParams(0.1, 0.5, 0.9, 0.2)
+        assert params.gap == pytest.approx(0.7)
+
+    def test_invalid_distance_order(self):
+        with pytest.raises(ConfigurationError):
+            SensitivityParams(0.6, 0.5, 0.9, 0.2)
+
+    def test_invalid_probability_order(self):
+        with pytest.raises(ConfigurationError):
+            SensitivityParams(0.1, 0.5, 0.2, 0.9)
+
+    def test_amplification_widens_gap(self):
+        base = SensitivityParams(0.2, 0.6, 0.8, 0.4)
+        amplified = amplify_sensitivity(base, k=4, l=8)
+        assert amplified.gap > base.gap
+
+    def test_amplification_formula(self):
+        base = SensitivityParams(0.2, 0.6, 0.8, 0.4)
+        amplified = amplify_sensitivity(base, k=2, l=3)
+        assert amplified.p1 == pytest.approx(1 - (1 - 0.8**2) ** 3)
+        assert amplified.p2 == pytest.approx(1 - (1 - 0.4**2) ** 3)
+
+    def test_amplify_invalid_kl(self):
+        with pytest.raises(ConfigurationError):
+            amplify_sensitivity(SensitivityParams(0.1, 0.5, 0.9, 0.2), 0, 5)
+
+
+class TestBands:
+    def test_split_bands_shapes(self):
+        signature = np.arange(12, dtype=np.uint64)
+        bands = split_bands(signature, k=3, l=4)
+        assert len(bands) == 4
+        assert bands[0] == (0, 1, 2)
+        assert bands[3] == (9, 10, 11)
+
+    def test_split_bands_wrong_length(self):
+        with pytest.raises(ConfigurationError):
+            split_bands(np.arange(10, dtype=np.uint64), k=3, l=4)
+
+    def test_band_keys_equal_for_equal_bands(self):
+        signature = np.arange(6, dtype=np.uint64)
+        assert band_keys(signature, 2, 3) == band_keys(signature.copy(), 2, 3)
+
+
+class TestBandedLSHIndex:
+    def test_records_with_same_keys_share_block(self):
+        index = BandedLSHIndex(2)
+        index.add("a", ["k1", "k2"])
+        index.add("b", ["k1", "x"])
+        blocks = index.blocks()
+        assert ("a", "b") in blocks
+
+    def test_min_size_filters_singletons(self):
+        index = BandedLSHIndex(1)
+        index.add("a", ["k1"])
+        index.add("b", ["k2"])
+        assert index.blocks() == []
+
+    def test_gate_excludes_records(self):
+        index = BandedLSHIndex(1)
+        index.add("a", ["k"], gate=lambda t, r: ("s",))
+        index.add("b", ["k"], gate=lambda t, r: ())  # excluded
+        index.add("c", ["k"], gate=lambda t, r: ("s",))
+        assert index.blocks() == [("a", "c")]
+
+    def test_gate_multiple_suffixes_or_semantics(self):
+        index = BandedLSHIndex(1)
+        index.add("a", ["k"], gate=lambda t, r: (0, 1))
+        index.add("b", ["k"], gate=lambda t, r: (1, 2))
+        blocks = index.blocks()
+        assert ("a", "b") in blocks  # met in suffix 1
+
+    def test_wrong_number_of_keys(self):
+        index = BandedLSHIndex(2)
+        with pytest.raises(ValueError):
+            index.add("a", ["only-one"])
+
+    def test_invalid_table_count(self):
+        with pytest.raises(ValueError):
+            BandedLSHIndex(0)
+
+    def test_bucket_sizes(self):
+        index = BandedLSHIndex(1)
+        index.add("a", ["k"])
+        index.add("b", ["k"])
+        index.add("c", ["other"])
+        assert sorted(index.bucket_sizes()) == [1, 2]
+
+
+class TestCollisionMath:
+    def test_banded_probability_endpoints(self):
+        assert banded_collision_probability(0.0, 3, 5) == 0.0
+        assert banded_collision_probability(1.0, 3, 5) == 1.0
+
+    def test_banded_probability_monotone_in_s(self):
+        values = [banded_collision_probability(s / 10, 4, 63) for s in range(11)]
+        assert values == sorted(values)
+
+    def test_paper_ncvoter_point(self):
+        """k=9, l=15 places 0.8-similar pairs with ~90% probability (§6.1)."""
+        assert banded_collision_probability(0.8, 9, 15) == pytest.approx(
+            0.885, abs=1e-3
+        )
+
+    def test_wway_and_or_formulas(self):
+        assert wway_collision_probability(0.5, 2, "and") == 0.25
+        assert wway_collision_probability(0.5, 2, "or") == 0.75
+
+    def test_wway_w1_and_equals_or(self):
+        """Fig. 5/7/8: a 1-way function is the same under both µ."""
+        for s in (0.0, 0.3, 0.8, 1.0):
+            assert wway_collision_probability(s, 1, "and") == pytest.approx(
+                wway_collision_probability(s, 1, "or")
+            )
+
+    def test_wway_and_decreases_or_increases_with_w(self):
+        s = 0.6
+        and_values = [wway_collision_probability(s, w, "and") for w in range(1, 10)]
+        or_values = [wway_collision_probability(s, w, "or") for w in range(1, 10)]
+        assert and_values == sorted(and_values, reverse=True)
+        assert or_values == sorted(or_values)
+
+    def test_wway_invalid_mode(self):
+        with pytest.raises(ConfigurationError):
+            wway_collision_probability(0.5, 2, "xor")
+
+    def test_salsh_zero_semantic_blocks_nothing(self):
+        """Prop 5.3(1): semantic similarity 0 -> collision probability 0."""
+        assert salsh_collision_probability(1.0, 0.0, 4, 63, 3, "or") == 0.0
+        assert salsh_collision_probability(1.0, 0.0, 4, 63, 3, "and") == 0.0
+
+    def test_salsh_reduces_to_banded_when_semantics_certain(self):
+        assert salsh_collision_probability(0.7, 1.0, 4, 63, 2, "or") == pytest.approx(
+            banded_collision_probability(0.7, 4, 63)
+        )
+
+    def test_salsh_never_exceeds_banded(self):
+        """Prop 5.3(2): the semantic gate can only reduce collisions."""
+        for s in (0.2, 0.5, 0.9):
+            for sp in (0.1, 0.5, 0.9):
+                combined = salsh_collision_probability(s, sp, 3, 10, 2, "and")
+                assert combined <= banded_collision_probability(s, 3, 10) + 1e-12
+
+    def test_probability_out_of_range_raises(self):
+        with pytest.raises(ConfigurationError):
+            banded_collision_probability(1.5, 2, 2)

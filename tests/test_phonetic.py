@@ -1,0 +1,61 @@
+"""Tests for Soundex and NYSIIS phonetic encodings."""
+
+import pytest
+
+from repro.text.phonetic import nysiis, soundex
+
+
+class TestSoundex:
+    REFERENCE = [
+        ("Robert", "R163"),
+        ("Rupert", "R163"),
+        ("Ashcraft", "A261"),
+        ("Ashcroft", "A261"),
+        ("Tymczak", "T522"),
+        ("Pfister", "P236"),
+        ("Honeyman", "H555"),
+    ]
+
+    @pytest.mark.parametrize("name,code", REFERENCE)
+    def test_reference_codes(self, name, code):
+        assert soundex(name) == code
+
+    def test_smith_smyth_collide(self):
+        assert soundex("smith") == soundex("smyth")
+
+    def test_case_insensitive(self):
+        assert soundex("WANG") == soundex("wang")
+
+    def test_non_letters_ignored(self):
+        assert soundex("o'brien") == soundex("obrien")
+
+    def test_empty_string(self):
+        assert soundex("") == "0000"
+
+    def test_short_names_zero_padded(self):
+        assert len(soundex("li")) == 4
+
+    def test_custom_length(self):
+        assert len(soundex("washington", length=6)) == 6
+
+
+class TestNysiis:
+    def test_knight_night_collide(self):
+        assert nysiis("knight") == nysiis("night")
+
+    def test_phonetic_family(self):
+        assert nysiis("phillips") == nysiis("filips")
+
+    def test_deterministic_and_upper(self):
+        code = nysiis("maclean")
+        assert code == nysiis("maclean")
+        assert code == code.upper()
+
+    def test_empty(self):
+        assert nysiis("") == ""
+
+    def test_distinct_names_usually_distinct(self):
+        assert nysiis("washington") != nysiis("gonzalez")
+
+    def test_trailing_s_dropped(self):
+        assert not nysiis("brooks").endswith("S") or len(nysiis("brooks")) == 1

@@ -1,0 +1,276 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The heavyweight ones validate the identities DESIGN.md relies on:
+
+* Eq. 5 record similarity == Jaccard of leaf expansions, on *random*
+  taxonomy trees and random specificity-compliant interpretations —
+  which makes Proposition 4.3 exact.
+* The w-way gate bucket construction == the pairwise predicate.
+* Minhash signature agreement is an unbiased estimator of Jaccard.
+* Metric bounds and symmetries for every registered string comparator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tuning import determine_kl, required_tables
+from repro.lsh.collision import (
+    banded_collision_probability,
+    salsh_collision_probability,
+    wway_collision_probability,
+)
+from repro.minhash import MinHasher
+from repro.semantic import (
+    WWaySemanticHashFamily,
+    enforce_specificity,
+    leaf_expansion_similarity,
+    record_semantic_similarity,
+)
+from repro.text import (
+    edit_distance,
+    edit_similarity,
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    lcs_similarity,
+    qgrams,
+)
+from repro.taxonomy import TaxonomyTree
+from repro.utils.hashing import MERSENNE_PRIME_61
+
+# -- strategies ------------------------------------------------------------------
+
+
+@st.composite
+def random_tree(draw) -> TaxonomyTree:
+    """A random taxonomy tree with 2-25 nodes."""
+    num_nodes = draw(st.integers(min_value=2, max_value=25))
+    tree = TaxonomyTree("random")
+    tree.add_root("n0")
+    for index in range(1, num_nodes):
+        parent = draw(st.integers(min_value=0, max_value=index - 1))
+        tree.add_child(f"n{parent}", f"n{index}")
+    return tree
+
+
+@st.composite
+def tree_with_two_interpretations(draw):
+    """A random tree plus two specificity-compliant concept sets."""
+    tree = draw(random_tree())
+    concepts = tree.concept_ids
+    zeta1 = draw(st.sets(st.sampled_from(concepts), min_size=1, max_size=4))
+    zeta2 = draw(st.sets(st.sampled_from(concepts), min_size=1, max_size=4))
+    return tree, enforce_specificity(tree, zeta1), enforce_specificity(tree, zeta2)
+
+
+short_text = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122), max_size=12
+)
+
+
+# -- Eq. 5 equivalence (Prop 4.3 exactness) ---------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(tree_with_two_interpretations())
+def test_eq5_equals_leaf_expansion_jaccard(data):
+    tree, zeta1, zeta2 = data
+    literal = record_semantic_similarity(tree, zeta1, zeta2)
+    fast = leaf_expansion_similarity(tree, zeta1, zeta2)
+    assert abs(literal - fast) < 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(tree_with_two_interpretations())
+def test_semantic_similarity_symmetric_and_bounded(data):
+    tree, zeta1, zeta2 = data
+    s12 = record_semantic_similarity(tree, zeta1, zeta2)
+    s21 = record_semantic_similarity(tree, zeta2, zeta1)
+    assert abs(s12 - s21) < 1e-9
+    assert 0.0 <= s12 <= 1.0 + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(tree_with_two_interpretations())
+def test_semantic_self_similarity_is_one(data):
+    tree, zeta1, _ = data
+    assert abs(record_semantic_similarity(tree, zeta1, zeta1) - 1.0) < 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(random_tree())
+def test_proposition_4_1_random_trees(tree):
+    """ζ(r1) = {c}, ζ(r2) = child(c) -> similarity 1, on any tree."""
+    for concept in tree.concept_ids:
+        children = tree.children(concept)
+        if children:
+            value = record_semantic_similarity(tree, {concept}, set(children))
+            assert abs(value - 1.0) < 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(random_tree())
+def test_specificity_output_is_antichain(tree):
+    concepts = set(tree.concept_ids)
+    reduced = enforce_specificity(tree, concepts)
+    for c1 in reduced:
+        for c2 in reduced:
+            if c1 != c2:
+                assert not tree.subsumes(c1, c2)
+
+
+# -- w-way gates ---------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=8),
+    st.sampled_from(["and", "or"]),
+    st.integers(min_value=0, max_value=2**8 - 1),
+    st.integers(min_value=0, max_value=2**8 - 1),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_gate_matches_pairwise_predicate(num_extra, w, mode, bits1, bits2, seed):
+    num_bits = 8
+    w = min(w, num_bits)
+    family = WWaySemanticHashFamily(num_bits, w, mode, num_tables=3, seed=seed)
+    sig1 = np.array([(bits1 >> b) & 1 for b in range(num_bits)], dtype=np.uint8)
+    sig2 = np.array([(bits2 >> b) & 1 for b in range(num_bits)], dtype=np.uint8)
+    for table in range(3):
+        bucket = bool(
+            set(family.gate_suffixes(table, sig1))
+            & set(family.gate_suffixes(table, sig2))
+        )
+        assert bucket == family.pair_collides(table, sig1, sig2)
+
+
+# -- minhash -------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.sets(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=30),
+    st.sets(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=30),
+    st.integers(min_value=0, max_value=100),
+)
+def test_minhash_estimates_jaccard(ids1, ids2, seed):
+    hasher = MinHasher(256, seed=seed)
+    a1 = np.array(sorted(ids1), dtype=np.uint64) % MERSENNE_PRIME_61
+    a2 = np.array(sorted(ids2), dtype=np.uint64) % MERSENNE_PRIME_61
+    estimate = hasher.estimate_jaccard(hasher.signature(a1), hasher.signature(a2))
+    true = jaccard_similarity(set(a1.tolist()), set(a2.tolist()))
+    # 256 hashes: standard error <= 0.5/sqrt(256) ~ 0.031; allow 5 sigma.
+    assert abs(estimate - true) <= 0.16
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=10_000), max_size=30))
+def test_minhash_identical_sets_identical_signatures(ids):
+    hasher = MinHasher(64, seed=7)
+    array = np.array(sorted(ids), dtype=np.uint64) % MERSENNE_PRIME_61
+    assert np.array_equal(hasher.signature(array), hasher.signature(array.copy()))
+
+
+# -- string comparators ----------------------------------------------------------
+
+
+@settings(max_examples=150, deadline=None)
+@given(short_text, short_text)
+def test_all_comparators_bounded_and_symmetric(s1, s2):
+    for fn in (jaro_similarity, jaro_winkler_similarity, edit_similarity, lcs_similarity):
+        v12, v21 = fn(s1, s2), fn(s2, s1)
+        assert 0.0 <= v12 <= 1.0
+        if fn is not lcs_similarity:  # LCS extraction order can differ
+            assert abs(v12 - v21) < 1e-9
+
+
+@settings(max_examples=150, deadline=None)
+@given(short_text)
+def test_comparators_identity(s):
+    for fn in (jaro_similarity, jaro_winkler_similarity, edit_similarity, lcs_similarity):
+        if s == "":
+            continue
+        assert fn(s, s) == 1.0
+
+
+@settings(max_examples=150, deadline=None)
+@given(short_text, short_text, short_text)
+def test_edit_distance_triangle_inequality(s1, s2, s3):
+    assert edit_distance(s1, s3) <= edit_distance(s1, s2) + edit_distance(s2, s3)
+
+
+@settings(max_examples=100, deadline=None)
+@given(short_text, st.integers(min_value=1, max_value=4))
+def test_qgrams_reconstructable(s, q):
+    grams = qgrams(s, q)
+    if len(s) >= q:
+        assert len(grams) == len(s) - q + 1
+        # Overlapping grams re-assemble to the original string.
+        rebuilt = grams[0] + "".join(g[-1] for g in grams[1:])
+        assert rebuilt == s
+
+
+# -- collision math ----------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=1, max_value=100),
+)
+def test_banded_probability_in_unit_interval(s, k, l):
+    assert 0.0 <= banded_collision_probability(s, k, l) <= 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=50),
+    st.integers(min_value=1, max_value=8),
+    st.sampled_from(["and", "or"]),
+)
+def test_salsh_probability_dominated_by_banded(s, s_prime, k, l, w, mode):
+    combined = salsh_collision_probability(s, s_prime, k, l, w, mode)
+    assert 0.0 <= combined <= banded_collision_probability(s, k, l) + 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=1, max_value=15),
+)
+def test_wway_or_dominates_and(s_prime, w):
+    assert (
+        wway_collision_probability(s_prime, w, "or")
+        >= wway_collision_probability(s_prime, w, "and") - 1e-12
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=0.05, max_value=0.95),
+    st.floats(min_value=0.05, max_value=0.9),
+)
+def test_required_tables_achieves_target(s, p):
+    l = required_tables(s, 3, p)
+    assert banded_collision_probability(s, 3, l) >= p
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.floats(min_value=0.3, max_value=0.9),
+    st.floats(min_value=0.01, max_value=0.2),
+)
+def test_determine_kl_feasible_split(sh, sl_fraction):
+    """Any (sh, sl) with a healthy gap admits a feasible (k, l)."""
+    sl = sh * sl_fraction
+    params = determine_kl(sh, sl, 0.5, 0.1)
+    assert banded_collision_probability(sh, params.k, params.l) >= 0.5
+    assert banded_collision_probability(sl, params.k, params.l) <= 0.1

@@ -1,0 +1,107 @@
+"""Tests for semantic-feature quality analysis and gate recommendation."""
+
+import pytest
+
+from repro.semantic import PatternSemanticFunction, VoterSemanticFunction, cora_patterns
+from repro.semantic.analysis import (
+    SemanticFeatureQuality,
+    analyse_semantic_features,
+    recommend_gate,
+)
+from repro.records import Dataset, Record
+from repro.semantic.interpretation import CallableSemanticFunction
+from repro.taxonomy.builders import bibliographic_tree
+
+
+def clean_dataset(tbib):
+    """Two entities whose duplicates carry identical clean semantics."""
+    records = [
+        Record("a1", {"kind": "journal"}, entity_id="e1"),
+        Record("a2", {"kind": "journal"}, entity_id="e1"),
+        Record("b1", {"kind": "techreport"}, entity_id="e2"),
+        Record("b2", {"kind": "techreport"}, entity_id="e2"),
+    ]
+    fn = CallableSemanticFunction(
+        tbib, lambda r: ("c3",) if r.get("kind") == "journal" else ("c7",)
+    )
+    return Dataset(records), fn
+
+
+def noisy_dataset(tbib):
+    """Duplicates whose semantics disagree entirely (simS = 0)."""
+    records = [
+        Record("a1", {"kind": "journal"}, entity_id="e1"),
+        Record("a2", {"kind": "techreport"}, entity_id="e1"),
+        Record("b1", {"kind": "journal"}, entity_id="e2"),
+        Record("b2", {"kind": "techreport"}, entity_id="e2"),
+    ]
+    fn = CallableSemanticFunction(
+        tbib, lambda r: ("c3",) if r.get("kind") == "journal" else ("c7",)
+    )
+    return Dataset(records), fn
+
+
+class TestAnalysis:
+    def test_clean_features(self, tbib):
+        dataset, fn = clean_dataset(tbib)
+        quality = analyse_semantic_features(dataset, fn)
+        assert quality.noise_rate == 0.0
+        assert quality.uncertainty_rate == 0.0
+        assert quality.heterogeneity_rate == 0.0
+        assert quality.is_clean
+
+    def test_noisy_features(self, tbib):
+        dataset, fn = noisy_dataset(tbib)
+        quality = analyse_semantic_features(dataset, fn)
+        assert quality.noise_rate == 1.0
+        assert not quality.is_clean
+
+    def test_uncertainty_counts_wide_interpretations(self, tbib):
+        records = [Record("x", {}, entity_id="e")]
+        fn = CallableSemanticFunction(tbib, lambda r: ("c1",))  # 5 leaves
+        quality = analyse_semantic_features(Dataset(records), fn)
+        assert quality.uncertainty_rate == 1.0
+
+    def test_cora_features_measurably_noisy(self, cora_small, tbib):
+        fn = PatternSemanticFunction(tbib, cora_patterns())
+        quality = analyse_semantic_features(cora_small, fn)
+        # Pattern noise is injected by the generator (§6.3.2's premise).
+        assert quality.noise_rate > 0.0
+        assert not quality.is_clean
+
+    def test_voter_features_uncertain_not_noisy(self, voter_small):
+        quality = analyse_semantic_features(voter_small, VoterSemanticFunction())
+        # 'u' values widen interpretations but rarely zero out simS.
+        assert quality.uncertainty_rate > 0.05
+        assert quality.noise_rate < 0.05
+
+
+class TestRecommendation:
+    def test_clean_features_get_and(self):
+        quality = SemanticFeatureQuality(0.0, 0.0, 0.0, 100, 100)
+        mode, w = recommend_gate(quality, num_bits=5)
+        assert mode == "and"
+        assert w == 2
+
+    def test_heavy_defects_get_or_all(self):
+        quality = SemanticFeatureQuality(0.4, 0.1, 0.2, 100, 100)
+        mode, w = recommend_gate(quality, num_bits=12)
+        assert (mode, w) == ("or", "all")
+
+    def test_moderate_defects_get_or_half(self):
+        quality = SemanticFeatureQuality(0.1, 0.1, 0.15, 100, 100)
+        mode, w = recommend_gate(quality, num_bits=12)
+        assert mode == "or"
+        assert isinstance(w, int) and w >= 6
+
+    def test_paper_regimes(self, cora_small, voter_small, tbib):
+        """Cora's noisy features and NC Voter's uncertain features both
+        end up with OR gates, matching §6.2/§6.3."""
+        cora_fn = PatternSemanticFunction(tbib, cora_patterns())
+        cora_quality = analyse_semantic_features(cora_small, cora_fn)
+        assert recommend_gate(cora_quality, 5)[0] == "or"
+
+        voter_quality = analyse_semantic_features(
+            voter_small, VoterSemanticFunction()
+        )
+        assert recommend_gate(voter_quality, 12)[0] == "or"

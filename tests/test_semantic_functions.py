@@ -1,0 +1,170 @@
+"""Tests for semantic functions: specificity, patterns (Table 1), voter."""
+
+import pytest
+
+from repro.errors import SemanticFunctionError
+from repro.records import Record
+from repro.semantic import (
+    CallableSemanticFunction,
+    MissingValuePattern,
+    PatternSemanticFunction,
+    VoterSemanticFunction,
+    cora_patterns,
+    enforce_specificity,
+)
+
+
+def pub(rid="p", journal="", booktitle="", institution=""):
+    return Record(
+        rid,
+        {"journal": journal, "booktitle": booktitle, "institution": institution},
+    )
+
+
+def voter(rid="v", race="w", gender="m"):
+    return Record(rid, {"race": race, "gender": gender})
+
+
+class TestSpecificity:
+    def test_removes_ancestors(self, tbib):
+        assert enforce_specificity(tbib, {"c1", "c3"}) == frozenset({"c3"})
+
+    def test_keeps_incomparable(self, tbib):
+        assert enforce_specificity(tbib, {"c3", "c7"}) == frozenset({"c3", "c7"})
+
+    def test_root_dropped_when_anything_else_present(self, tbib):
+        assert enforce_specificity(tbib, {"c0", "c9"}) == frozenset({"c9"})
+
+    def test_single_concept_kept(self, tbib):
+        assert enforce_specificity(tbib, {"c0"}) == frozenset({"c0"})
+
+    def test_unknown_concept_raises(self, tbib):
+        with pytest.raises(SemanticFunctionError):
+            enforce_specificity(tbib, {"ghost"})
+
+    def test_empty_stays_empty(self, tbib):
+        assert enforce_specificity(tbib, set()) == frozenset()
+
+
+class TestCallableSemanticFunction:
+    def test_wraps_and_enforces_specificity(self, tbib):
+        fn = CallableSemanticFunction(tbib, lambda r: ("c1", "c3"))
+        assert fn.interpret(pub()) == frozenset({"c3"})
+
+    def test_isolation_only_sees_one_record(self, tbib):
+        """The interface enforces Def 4.2(b): single-record input."""
+        seen = []
+        fn = CallableSemanticFunction(tbib, lambda r: (seen.append(r.record_id), ("c3",))[1])
+        fn.interpret(pub("only"))
+        assert seen == ["only"]
+
+
+class TestMissingValuePattern:
+    def test_matches_present_and_absent(self):
+        pattern = MissingValuePattern(("a",), ("b",), ("c3",))
+        assert pattern.matches(Record("r", {"a": "x", "b": ""}))
+        assert not pattern.matches(Record("r", {"a": "x", "b": "y"}))
+        assert not pattern.matches(Record("r", {"a": "", "b": ""}))
+
+    def test_unmentioned_attributes_unconstrained(self):
+        pattern = MissingValuePattern(("a",), (), ("c3",))
+        assert pattern.matches(Record("r", {"a": "x", "z": "anything"}))
+
+
+class TestCoraPatterns:
+    """The eight Table 1 rows, in order."""
+
+    TABLE_1 = [
+        # (journal, booktitle, institution) -> expected concepts
+        (("j", "b", "i"), {"c3", "c4", "c6"}),
+        (("j", "b", ""), {"c3", "c4"}),
+        (("j", "", "i"), {"c3", "c6"}),
+        (("j", "", ""), {"c3"}),
+        (("", "b", "i"), {"c4", "c7", "c8"}),
+        (("", "b", ""), {"c4"}),
+        (("", "", "i"), {"c7", "c8"}),
+        (("", "", ""), {"c1"}),
+    ]
+
+    @pytest.mark.parametrize("values,expected", TABLE_1)
+    def test_table1_row(self, tbib, values, expected):
+        fn = PatternSemanticFunction(tbib, cora_patterns())
+        record = pub("p", *values)
+        assert fn.interpret(record) == frozenset(expected)
+
+    def test_patterns_are_complete(self, tbib):
+        """Every present/absent combination matches some pattern."""
+        fn = PatternSemanticFunction(tbib, cora_patterns())
+        for mask in range(8):
+            record = pub(
+                "p",
+                "j" if mask & 4 else "",
+                "b" if mask & 2 else "",
+                "i" if mask & 1 else "",
+            )
+            assert fn.matching_pattern(record) is not None, mask
+
+    def test_no_match_without_fallback_raises(self, tbib):
+        only_first = PatternSemanticFunction(tbib, cora_patterns()[:1])
+        with pytest.raises(SemanticFunctionError):
+            only_first.interpret(pub("p"))
+
+    def test_fallback_used(self, tbib):
+        fn = PatternSemanticFunction(
+            tbib, cora_patterns()[:1], fallback=("c0",)
+        )
+        assert fn.interpret(pub("p")) == frozenset({"c0"})
+
+    def test_unknown_concept_in_pattern_rejected(self, tbib):
+        bad = MissingValuePattern((), (), ("ghost",))
+        with pytest.raises(SemanticFunctionError):
+            PatternSemanticFunction(tbib, [bad])
+
+    def test_empty_pattern_list_rejected(self, tbib):
+        with pytest.raises(SemanticFunctionError):
+            PatternSemanticFunction(tbib, [])
+
+    def test_interpretations_satisfy_specificity(self, tbib):
+        fn = PatternSemanticFunction(tbib, cora_patterns())
+        for values, _ in self.TABLE_1:
+            zeta = fn.interpret(pub("p", *values))
+            for c1 in zeta:
+                for c2 in zeta:
+                    if c1 != c2:
+                        assert not tbib.subsumes(c1, c2)
+
+
+class TestVoterSemanticFunction:
+    def test_both_known_single_leaf(self):
+        fn = VoterSemanticFunction()
+        assert fn.interpret(voter(race="w", gender="m")) == frozenset({"w_m"})
+
+    def test_unknown_gender_race_node(self):
+        fn = VoterSemanticFunction()
+        assert fn.interpret(voter(race="b", gender="u")) == frozenset({"race_b"})
+
+    def test_unknown_race_gender_slice(self):
+        fn = VoterSemanticFunction()
+        zeta = fn.interpret(voter(race="u", gender="f"))
+        assert zeta == frozenset({"w_f", "b_f", "a_f", "i_f", "m_f", "o_f"})
+
+    def test_all_unknown_root(self):
+        fn = VoterSemanticFunction()
+        assert fn.interpret(voter(race="u", gender="u")) == frozenset({"v0"})
+
+    def test_missing_attributes_treated_as_unknown(self):
+        fn = VoterSemanticFunction()
+        assert fn.interpret(Record("v", {})) == frozenset({"v0"})
+
+    def test_case_and_whitespace_tolerated(self):
+        fn = VoterSemanticFunction()
+        assert fn.interpret(
+            Record("v", {"race": " W ", "gender": "M"})
+        ) == frozenset({"w_m"})
+
+    def test_custom_attribute_names(self):
+        fn = VoterSemanticFunction(
+            race_attribute="ethnicity", gender_attribute="sex"
+        )
+        record = Record("v", {"ethnicity": "a", "sex": "f"})
+        assert fn.interpret(record) == frozenset({"a_f"})

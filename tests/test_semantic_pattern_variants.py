@@ -1,0 +1,84 @@
+"""Tests for Table 1 patterns remapped onto Fig. 10 taxonomy variants."""
+
+import pytest
+
+from repro.semantic import (
+    PatternSemanticFunction,
+    cora_patterns,
+    cora_patterns_for,
+)
+from repro.records import Record
+from repro.taxonomy.builders import (
+    bibliographic_tree,
+    bibliographic_tree_variant,
+)
+
+
+def pub(journal="", booktitle="", institution=""):
+    return Record(
+        "p",
+        {"journal": journal, "booktitle": booktitle, "institution": institution},
+    )
+
+
+def test_reference_tree_patterns_unchanged(tbib):
+    original = cora_patterns()
+    remapped = cora_patterns_for(bibliographic_tree())
+    assert [p.concepts for p in remapped] == [p.concepts for p in original]
+
+
+def test_variant1_remaps_removed_levels():
+    tree = bibliographic_tree_variant(1)  # no c2 / c6
+    remapped = cora_patterns_for(tree)
+    for pattern in remapped:
+        for concept in pattern.concepts:
+            assert tree.has_concept(concept)
+    # c6 (non-peer-reviewed) remaps to its parent c1.
+    assert remapped[0].concepts == ("c3", "c4", "c1")
+
+
+def test_variant3_journal_becomes_peer_reviewed():
+    tree = bibliographic_tree_variant(3)  # no c3 (Journal)
+    remapped = cora_patterns_for(tree)
+    # Pattern 4 (journal only) now maps to Peer Reviewed.
+    assert remapped[3].concepts == ("c2",)
+
+
+@pytest.mark.parametrize("variant", [1, 2, 3])
+def test_variant_functions_interpret_all_pattern_rows(variant):
+    tree = bibliographic_tree_variant(variant)
+    fn = PatternSemanticFunction(tree, cora_patterns_for(tree))
+    combos = [
+        pub("j", "b", "i"), pub("j", "b"), pub("j", "", "i"), pub("j"),
+        pub("", "b", "i"), pub("", "b"), pub("", "", "i"), pub(),
+    ]
+    for record in combos:
+        zeta = fn.interpret(record)
+        assert zeta, record.fields
+        for concept in zeta:
+            assert tree.has_concept(concept)
+
+
+def test_variant_interpretations_increase_relatedness():
+    """§6.3.3: removing Journal relates journal and proceedings records
+    through the surviving parent concept."""
+    from repro.semantic import record_semantic_similarity
+
+    full = bibliographic_tree()
+    fn_full = PatternSemanticFunction(full, cora_patterns_for(full))
+    variant = bibliographic_tree_variant(3)
+    fn_variant = PatternSemanticFunction(variant, cora_patterns_for(variant))
+
+    journal_record, proceedings_record = pub("j"), pub("", "b")
+    before = record_semantic_similarity(
+        full,
+        fn_full.interpret(journal_record),
+        fn_full.interpret(proceedings_record),
+    )
+    after = record_semantic_similarity(
+        variant,
+        fn_variant.interpret(journal_record),
+        fn_variant.interpret(proceedings_record),
+    )
+    assert before == 0.0
+    assert after > 0.0

@@ -1,0 +1,132 @@
+"""Tests for semhash signatures (Algorithm 1) and Prop 4.3."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SemanticFunctionError
+from repro.records import Dataset, Record
+from repro.semantic import (
+    CallableSemanticFunction,
+    PatternSemanticFunction,
+    SemhashEncoder,
+    cora_patterns,
+    record_semantic_similarity,
+    semhash_jaccard,
+)
+
+
+def pub(rid, journal="", booktitle="", institution=""):
+    return Record(
+        rid,
+        {"journal": journal, "booktitle": booktitle, "institution": institution},
+    )
+
+
+@pytest.fixture()
+def cora_fn(tbib):
+    return PatternSemanticFunction(tbib, cora_patterns())
+
+
+@pytest.fixture()
+def records():
+    return [
+        pub("r1", journal="ml journal"),                     # -> c3
+        pub("r2", booktitle="icml"),                         # -> c4
+        pub("r3", institution="anu"),                        # -> c7, c8
+        pub("r4"),                                           # -> c1
+        pub("r5", journal="x", booktitle="y", institution="z"),  # c3,c4,c6
+    ]
+
+
+class TestSemhashEncoder:
+    def test_bits_cover_reachable_leaves(self, cora_fn, records):
+        encoder = SemhashEncoder(cora_fn, records)
+        # c1's leaf set covers c3,c4,c5,c7,c8; patterns never reach c9.
+        assert set(encoder.bits) == {"c3", "c4", "c5", "c7", "c8"}
+        assert encoder.num_bits == 5
+
+    def test_paper_reports_5_bit_cora_signature(self, cora_fn, records):
+        """§6.2: 'we have 5 bit semantic signature for each record in Cora'."""
+        assert SemhashEncoder(cora_fn, records).num_bits == 5
+
+    def test_encode_leaf_bits(self, cora_fn, records):
+        encoder = SemhashEncoder(cora_fn, records)
+        sig = encoder.encode(pub("x", journal="j"))  # c3 only
+        assert list(encoder.bits[i] for i in np.flatnonzero(sig)) == ["c3"]
+
+    def test_encode_internal_concept_sets_all_descendant_bits(self, cora_fn, records):
+        encoder = SemhashEncoder(cora_fn, records)
+        sig = encoder.encode(pub("x"))  # pattern 8 -> c1 -> all 5 leaves
+        assert int(sig.sum()) == 5
+
+    def test_disjointness_bits_pairwise_unrelated(self, cora_fn, records, tbib):
+        encoder = SemhashEncoder(cora_fn, records)
+        for b1 in encoder.bits:
+            for b2 in encoder.bits:
+                if b1 != b2:
+                    assert not tbib.related(b1, b2)
+
+    def test_signature_matrix_shape(self, cora_fn, records):
+        encoder = SemhashEncoder(cora_fn, records)
+        matrix = encoder.signature_matrix(records)
+        assert matrix.shape == (5, 5)
+        assert matrix.dtype == np.uint8
+
+    def test_no_concepts_raises(self, tbib):
+        fn = CallableSemanticFunction(tbib, lambda r: ())
+        with pytest.raises(SemanticFunctionError):
+            SemhashEncoder(fn, [pub("r")])
+
+    def test_interpretation_cached_and_fresh(self, cora_fn, records):
+        encoder = SemhashEncoder(cora_fn, records)
+        assert encoder.interpretation(records[0]) == frozenset({"c3"})
+        fresh = pub("new", booktitle="b")
+        assert encoder.interpretation(fresh) == frozenset({"c4"})
+
+
+class TestSemhashJaccard:
+    def test_identical(self):
+        sig = np.array([1, 0, 1], dtype=np.uint8)
+        assert semhash_jaccard(sig, sig) == 1.0
+
+    def test_disjoint(self):
+        a = np.array([1, 0], dtype=np.uint8)
+        b = np.array([0, 1], dtype=np.uint8)
+        assert semhash_jaccard(a, b) == 0.0
+
+    def test_all_zero_vs_anything_zero(self):
+        zero = np.zeros(3, dtype=np.uint8)
+        other = np.array([1, 1, 0], dtype=np.uint8)
+        assert semhash_jaccard(zero, other) == 0.0
+        assert semhash_jaccard(zero, zero) == 0.0
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            semhash_jaccard(np.zeros(2, np.uint8), np.zeros(3, np.uint8))
+
+
+class TestProposition4_3:
+    """simJ(G(r1), G(r2)) equals simS(r1, r2) — exact in this construction."""
+
+    PAIRS = [
+        ("r1", "r2"),
+        ("r1", "r3"),
+        ("r1", "r5"),
+        ("r2", "r5"),
+        ("r3", "r4"),
+        ("r4", "r5"),
+        ("r2", "r3"),
+    ]
+
+    @pytest.mark.parametrize("id1,id2", PAIRS)
+    def test_signature_jaccard_equals_semantic_similarity(
+        self, cora_fn, records, tbib, id1, id2
+    ):
+        encoder = SemhashEncoder(cora_fn, records)
+        by_id = {r.record_id: r for r in records}
+        r1, r2 = by_id[id1], by_id[id2]
+        expected = record_semantic_similarity(
+            tbib, cora_fn.interpret(r1), cora_fn.interpret(r2)
+        )
+        actual = semhash_jaccard(encoder.encode(r1), encoder.encode(r2))
+        assert actual == pytest.approx(expected)

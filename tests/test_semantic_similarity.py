@@ -1,0 +1,160 @@
+"""Tests for Eq. 4 / Eq. 5 — every worked example of the paper."""
+
+import pytest
+
+from repro.semantic import (
+    concept_similarity,
+    leaf_expansion_similarity,
+    record_semantic_similarity,
+    related_pairs,
+)
+from repro.taxonomy import TaxonomyForest
+from repro.taxonomy.builders import voter_tree
+
+
+class TestConceptSimilarity:
+    """Example 4.4 and the Eq. 3/4 properties."""
+
+    def test_example_4_4_c0_c1(self, tbib):
+        assert concept_similarity(tbib, "c0", "c1") == pytest.approx(5 / 6)
+
+    def test_example_4_4_c1_c2(self, tbib):
+        assert concept_similarity(tbib, "c1", "c2") == pytest.approx(3 / 5)
+
+    def test_example_4_4_c0_c4(self, tbib):
+        assert concept_similarity(tbib, "c0", "c4") == pytest.approx(1 / 6)
+
+    def test_example_4_4_siblings_zero(self, tbib):
+        assert concept_similarity(tbib, "c2", "c6") == 0.0
+
+    def test_eq3_all_sibling_pairs_zero(self, tbib):
+        for parent in ("c0", "c1", "c2", "c6"):
+            children = tbib.children(parent)
+            for i, c1 in enumerate(children):
+                for c2 in children[i + 1 :]:
+                    assert concept_similarity(tbib, c1, c2) == 0.0
+
+    def test_self_similarity_one(self, tbib):
+        for concept in tbib.concept_ids:
+            assert concept_similarity(tbib, concept, concept) == 1.0
+
+    def test_symmetry(self, tbib):
+        assert concept_similarity(tbib, "c1", "c3") == concept_similarity(
+            tbib, "c3", "c1"
+        )
+
+    def test_chain_monotonicity(self, tbib):
+        """For c3 <= c2 <= c1: sim(c1,c3) <= sim(c2,c3) and <= sim(c1,c2)."""
+        # chain: c3 (journal) <= c2 (peer reviewed) <= c1 (publication)
+        s_13 = concept_similarity(tbib, "c1", "c3")
+        s_23 = concept_similarity(tbib, "c2", "c3")
+        s_12 = concept_similarity(tbib, "c1", "c2")
+        assert s_13 <= s_23
+        assert s_13 <= s_12
+
+    def test_cross_tree_zero(self, tbib, tvoter):
+        forest = TaxonomyForest.of(tbib, tvoter)
+        assert concept_similarity(forest, "c3", "w_m") == 0.0
+
+
+class TestRelatedPairs:
+    def test_reflexive_pairs_included(self, tbib):
+        pairs = related_pairs(tbib, {"c4"}, {"c3", "c4"})
+        assert ("c4", "c4") in pairs
+        assert ("c4", "c3") not in pairs  # siblings are unrelated
+
+    def test_subsumption_pairs_included(self, tbib):
+        pairs = related_pairs(tbib, {"c4"}, {"c0"})
+        assert pairs == [("c4", "c0")]
+
+    def test_empty_when_unrelated(self, tbib):
+        assert related_pairs(tbib, {"c4"}, {"c7"}) == []
+
+
+class TestRecordSimilarity:
+    """Example 4.5 and Propositions 4.1 / 4.2."""
+
+    def test_example_4_5_r1_r2(self, tbib):
+        assert record_semantic_similarity(tbib, {"c4"}, {"c3", "c4"}) == 0.5
+
+    def test_example_4_5_r1_r3(self, tbib):
+        assert record_semantic_similarity(tbib, {"c4"}, {"c4"}) == 1.0
+
+    def test_example_4_5_r1_r5(self, tbib):
+        assert record_semantic_similarity(tbib, {"c4"}, {"c7"}) == 0.0
+
+    def test_example_4_5_r2_r6(self, tbib):
+        assert record_semantic_similarity(tbib, {"c3", "c4"}, {"c0"}) == pytest.approx(1 / 3)
+
+    def test_example_4_5_r1_r6(self, tbib):
+        assert record_semantic_similarity(tbib, {"c4"}, {"c0"}) == pytest.approx(1 / 6)
+
+    def test_example_4_5_r5_r6(self, tbib):
+        assert record_semantic_similarity(tbib, {"c7"}, {"c0"}) == pytest.approx(1 / 6)
+
+    def test_proposition_4_1(self, tbib):
+        """ζ(r1)={c}, ζ(r2)=child(c) implies similarity 1."""
+        for internal in ("c0", "c1", "c2", "c6"):
+            children = set(tbib.children(internal))
+            assert record_semantic_similarity(
+                tbib, {internal}, children
+            ) == pytest.approx(1.0), internal
+
+    def test_proposition_4_2_zero_iff_unrelated(self, tbib):
+        assert record_semantic_similarity(tbib, {"c3"}, {"c7"}) == 0.0
+        assert record_semantic_similarity(tbib, {"c3"}, {"c9"}) == 0.0
+        assert record_semantic_similarity(tbib, {"c3"}, {"c2"}) > 0.0
+
+    def test_empty_interpretation_zero(self, tbib):
+        assert record_semantic_similarity(tbib, set(), {"c3"}) == 0.0
+        assert record_semantic_similarity(tbib, set(), set()) == 0.0
+
+    def test_symmetry(self, tbib):
+        a, b = {"c3", "c4"}, {"c0"}
+        assert record_semantic_similarity(tbib, a, b) == record_semantic_similarity(
+            tbib, b, a
+        )
+
+    def test_matches_single_concept_similarity(self, tbib):
+        """Singleton interpretations reduce to concept similarity."""
+        for c1 in ("c0", "c1", "c2", "c3", "c7"):
+            for c2 in ("c0", "c1", "c4", "c8"):
+                assert record_semantic_similarity(
+                    tbib, {c1}, {c2}
+                ) == pytest.approx(concept_similarity(tbib, c1, c2))
+
+
+class TestLeafExpansionEquivalence:
+    """Eq. 5 == Jaccard of leaf expansions (the DESIGN.md identity)."""
+
+    CASES = [
+        ({"c4"}, {"c3", "c4"}),
+        ({"c4"}, {"c4"}),
+        ({"c4"}, {"c7"}),
+        ({"c3", "c4"}, {"c0"}),
+        ({"c4"}, {"c0"}),
+        ({"c2"}, {"c3", "c7"}),
+        ({"c1"}, {"c2", "c6"}),
+        ({"c2", "c6"}, {"c3", "c8"}),
+        ({"c9"}, {"c0"}),
+        ({"c2"}, {"c6"}),
+    ]
+
+    @pytest.mark.parametrize("zeta1,zeta2", CASES)
+    def test_equivalence_on_tbib(self, tbib, zeta1, zeta2):
+        assert record_semantic_similarity(tbib, zeta1, zeta2) == pytest.approx(
+            leaf_expansion_similarity(tbib, zeta1, zeta2)
+        )
+
+    def test_equivalence_on_voter_tree(self):
+        tree = voter_tree()
+        cases = [
+            ({"w_m"}, {"race_w"}),
+            ({"race_w"}, {"race_b"}),
+            ({"v0"}, {"w_m", "b_f"}),
+            ({"w_m", "b_m"}, {"race_w", "race_b"}),
+        ]
+        for zeta1, zeta2 in cases:
+            assert record_semantic_similarity(tree, zeta1, zeta2) == pytest.approx(
+                leaf_expansion_similarity(tree, zeta1, zeta2)
+            )

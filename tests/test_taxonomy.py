@@ -1,0 +1,187 @@
+"""Tests for taxonomy trees, forests and the paper's concrete trees."""
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.taxonomy import TaxonomyForest, TaxonomyTree
+from repro.taxonomy.builders import (
+    bibliographic_tree,
+    bibliographic_tree_variant,
+    voter_tree,
+)
+
+
+def small_tree() -> TaxonomyTree:
+    tree = TaxonomyTree("t")
+    tree.add_root("root")
+    tree.add_child("root", "a")
+    tree.add_child("root", "b")
+    tree.add_child("a", "a1")
+    tree.add_child("a", "a2")
+    return tree
+
+
+class TestTreeConstruction:
+    def test_two_roots_rejected(self):
+        tree = TaxonomyTree("t")
+        tree.add_root("r")
+        with pytest.raises(TaxonomyError):
+            tree.add_root("r2")
+
+    def test_duplicate_concept_rejected(self):
+        tree = small_tree()
+        with pytest.raises(TaxonomyError):
+            tree.add_child("root", "a")
+
+    def test_unknown_parent_rejected(self):
+        tree = small_tree()
+        with pytest.raises(TaxonomyError):
+            tree.add_child("ghost", "x")
+
+    def test_from_spec_round_trip(self):
+        tree = TaxonomyTree.from_spec("t", ("r", "Root", [("c", "Child", [])]))
+        assert tree.root == "r"
+        assert tree.children("r") == ("c",)
+        assert tree.concept("c").label == "Child"
+
+    def test_validate_passes_on_well_formed(self):
+        small_tree().validate()
+
+
+class TestTreeQueries:
+    def test_children_and_parent(self):
+        tree = small_tree()
+        assert tree.children("a") == ("a1", "a2")
+        assert tree.parent("a1") == "a"
+        assert tree.parent("root") is None
+
+    def test_is_leaf(self):
+        tree = small_tree()
+        assert tree.is_leaf("a1")
+        assert not tree.is_leaf("a")
+
+    def test_depth(self):
+        tree = small_tree()
+        assert tree.depth("root") == 0
+        assert tree.depth("a1") == 2
+
+    def test_ancestors(self):
+        assert small_tree().ancestors("a1") == ["a", "root"]
+
+    def test_subsumes_is_reflexive(self):
+        tree = small_tree()
+        assert tree.subsumes("a", "a")
+
+    def test_subsumes_transitive_down(self):
+        tree = small_tree()
+        assert tree.subsumes("root", "a1")
+        assert not tree.subsumes("a1", "root")
+
+    def test_siblings_not_related(self):
+        tree = small_tree()
+        assert not tree.related("a", "b")
+        assert tree.related("a", "a1")
+
+    def test_leaf_set_of_leaf_is_singleton(self):
+        assert small_tree().leaf_set("b") == frozenset({"b"})
+
+    def test_leaf_set_of_internal(self):
+        assert small_tree().leaf_set("a") == frozenset({"a1", "a2"})
+
+    def test_leaves_of_root(self):
+        assert small_tree().leaves == frozenset({"a1", "a2", "b"})
+
+    def test_unknown_concept_raises(self):
+        with pytest.raises(TaxonomyError):
+            small_tree().leaf_set("ghost")
+
+
+class TestWithoutNode:
+    def test_remove_leaf(self):
+        tree = small_tree().without_node("a2")
+        assert not tree.has_concept("a2")
+        assert tree.leaf_set("a") == frozenset({"a1"})
+
+    def test_remove_internal_promotes_children(self):
+        tree = small_tree().without_node("a")
+        assert tree.parent("a1") == "root"
+        assert tree.leaves == frozenset({"a1", "a2", "b"})
+
+    def test_remove_root_rejected(self):
+        with pytest.raises(TaxonomyError):
+            small_tree().without_node("root")
+
+    def test_original_unchanged(self):
+        tree = small_tree()
+        tree.without_node("a")
+        assert tree.has_concept("a")
+
+
+class TestBibliographicTree:
+    def test_six_leaves(self, tbib):
+        assert tbib.leaves == frozenset({"c3", "c4", "c5", "c7", "c8", "c9"})
+
+    def test_structure_of_fig3(self, tbib):
+        assert tbib.root == "c0"
+        assert set(tbib.children("c0")) == {"c1", "c9"}
+        assert set(tbib.children("c1")) == {"c2", "c6"}
+        assert set(tbib.children("c2")) == {"c3", "c4", "c5"}
+        assert set(tbib.children("c6")) == {"c7", "c8"}
+
+    def test_variant_1_removes_peer_review_level(self):
+        variant = bibliographic_tree_variant(1)
+        assert not variant.has_concept("c2")
+        assert not variant.has_concept("c6")
+        assert variant.parent("c3") == "c1"
+        assert variant.parent("c7") == "c1"
+        assert variant.leaves == bibliographic_tree().leaves
+
+    def test_variant_2_drops_book(self):
+        variant = bibliographic_tree_variant(2)
+        assert not variant.has_concept("c5")
+        assert "c5" not in variant.leaves
+
+    def test_variant_3_drops_journal(self):
+        variant = bibliographic_tree_variant(3)
+        assert not variant.has_concept("c3")
+
+    def test_unknown_variant(self):
+        with pytest.raises(TaxonomyError):
+            bibliographic_tree_variant(4)
+
+
+class TestVoterTree:
+    def test_twelve_leaves(self, tvoter):
+        assert len(tvoter.leaves) == 12
+
+    def test_race_nodes_have_two_gender_leaves(self, tvoter):
+        assert set(tvoter.children("race_w")) == {"w_m", "w_f"}
+
+    def test_root_spans_all(self, tvoter):
+        assert len(tvoter.leaf_set("v0")) == 12
+
+
+class TestForest:
+    def test_duplicate_concepts_across_trees_rejected(self):
+        with pytest.raises(TaxonomyError):
+            TaxonomyForest.of(small_tree(), small_tree())
+
+    def test_cross_tree_not_subsumed(self, tbib, tvoter):
+        forest = TaxonomyForest.of(tbib, tvoter)
+        assert not forest.subsumes("c0", "v0")
+        assert not forest.related("c3", "w_m")
+
+    def test_leaf_expansion_union(self, tbib):
+        forest = TaxonomyForest.of(tbib)
+        assert forest.leaf_expansion({"c2", "c6"}) == frozenset(
+            {"c3", "c4", "c5", "c7", "c8"}
+        )
+
+    def test_empty_forest_rejected(self):
+        with pytest.raises(TaxonomyError):
+            TaxonomyForest([])
+
+    def test_unknown_concept(self, tbib):
+        forest = TaxonomyForest.of(tbib)
+        with pytest.raises(TaxonomyError):
+            forest.leaf_set("nope")

@@ -1,0 +1,87 @@
+"""Tests for normalisation, q-grams and set similarities."""
+
+import pytest
+
+from repro.text import (
+    dice_similarity,
+    jaccard_similarity,
+    normalize,
+    qgram_jaccard,
+    qgram_multiset,
+    qgram_set,
+    qgrams,
+)
+
+
+class TestNormalize:
+    def test_lowercases_and_strips_punctuation(self):
+        assert normalize("The Cascade-Correlation!") == "the cascade correlation"
+
+    def test_collapses_whitespace(self):
+        assert normalize("  a   b  ") == "a b"
+
+    def test_options_can_be_disabled(self):
+        assert normalize("A-B", lowercase=False, strip_punctuation=False) == "A-B"
+
+    def test_empty_string(self):
+        assert normalize("") == ""
+
+    def test_only_punctuation_becomes_empty(self):
+        assert normalize("!!! ???") == ""
+
+
+class TestQgrams:
+    def test_basic_bigrams(self):
+        assert qgrams("wang", 2) == ["wa", "an", "ng"]
+
+    def test_q_larger_than_string_yields_whole(self):
+        assert qgrams("ab", 5) == ["ab"]
+
+    def test_empty_string_yields_nothing(self):
+        assert qgrams("", 3) == []
+
+    def test_invalid_q_raises(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", 0)
+
+    def test_padded_includes_boundary_grams(self):
+        grams = qgrams("ab", 2, padded=True)
+        assert "#a" in grams and "b#" in grams
+
+    def test_qgram_set_deduplicates(self):
+        assert qgram_set("aaa", 2) == frozenset({"aa"})
+
+    def test_qgram_multiset_counts(self):
+        counts = qgram_multiset("aaa", 2)
+        assert counts["aa"] == 2
+
+    def test_number_of_grams(self):
+        assert len(qgrams("abcdef", 3)) == 4
+
+
+class TestSetSimilarities:
+    def test_jaccard_identical(self):
+        assert jaccard_similarity({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert jaccard_similarity({"a"}, {"b"}) == 0.0
+
+    def test_jaccard_partial(self):
+        assert jaccard_similarity({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_jaccard_both_empty(self):
+        assert jaccard_similarity(set(), set()) == 1.0
+
+    def test_dice_partial(self):
+        assert dice_similarity({"a", "b"}, {"b", "c"}) == pytest.approx(0.5)
+
+    def test_dice_both_empty(self):
+        assert dice_similarity(set(), set()) == 1.0
+
+    def test_qgram_jaccard_strings(self):
+        assert qgram_jaccard("wang", "wang", 2) == 1.0
+        assert 0.0 < qgram_jaccard("wang", "wong", 2) < 1.0
+
+    def test_jaccard_symmetry(self):
+        s1, s2 = {"a", "b", "c"}, {"b", "d"}
+        assert jaccard_similarity(s1, s2) == jaccard_similarity(s2, s1)

@@ -1,0 +1,152 @@
+"""Tests for the string comparators (edit, Jaro, LCS, TF-IDF, registry)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.text import (
+    TfidfVectorizer,
+    available_similarities,
+    cosine_similarity,
+    edit_distance,
+    edit_similarity,
+    get_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    lcs_similarity,
+    longest_common_substring,
+)
+
+
+class TestEditDistance:
+    def test_kitten_sitting(self):
+        assert edit_distance("kitten", "sitting") == 3
+
+    def test_identical(self):
+        assert edit_distance("abc", "abc") == 0
+
+    def test_empty_vs_string(self):
+        assert edit_distance("", "abc") == 3
+        assert edit_distance("abc", "") == 3
+
+    def test_symmetry(self):
+        assert edit_distance("flaw", "lawn") == edit_distance("lawn", "flaw")
+
+    def test_single_substitution(self):
+        assert edit_distance("cat", "car") == 1
+
+    def test_similarity_normalised(self):
+        assert edit_similarity("abc", "abc") == 1.0
+        assert edit_similarity("", "") == 1.0
+        assert edit_similarity("abc", "xyz") == 0.0
+
+    def test_similarity_partial(self):
+        assert edit_similarity("abcd", "abcx") == pytest.approx(0.75)
+
+
+class TestJaro:
+    def test_martha_marhta(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-4)
+
+    def test_identical(self):
+        assert jaro_similarity("same", "same") == 1.0
+
+    def test_no_common_characters(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+    def test_winkler_boosts_common_prefix(self):
+        plain = jaro_similarity("prefixes", "prefixed")
+        winkler = jaro_winkler_similarity("prefixes", "prefixed")
+        assert winkler > plain
+
+    def test_winkler_bounded_by_one(self):
+        assert jaro_winkler_similarity("dwayne", "duane") <= 1.0
+
+    def test_winkler_invalid_weight(self):
+        with pytest.raises(ValueError):
+            jaro_winkler_similarity("a", "b", prefix_weight=0.5)
+
+    def test_winkler_dixon_reference(self):
+        assert jaro_winkler_similarity("dixon", "dicksonx") == pytest.approx(
+            0.8133, abs=1e-3
+        )
+
+
+class TestLCS:
+    def test_longest_common_substring(self):
+        assert longest_common_substring("xabcy", "zabcw") == "abc"
+
+    def test_no_overlap(self):
+        assert longest_common_substring("abc", "xyz") == ""
+
+    def test_empty(self):
+        assert longest_common_substring("", "abc") == ""
+
+    def test_similarity_identical(self):
+        assert lcs_similarity("entity", "entity") == 1.0
+
+    def test_similarity_rejects_tiny_fragments(self):
+        # Only 1-char overlaps, below min_common_len=2.
+        assert lcs_similarity("ab", "bx") == 0.0
+
+    def test_similarity_accumulates_pieces(self):
+        # "abcd" and "cdab" share "ab" and "cd".
+        assert lcs_similarity("abcd", "cdab") == 1.0
+
+    def test_similarity_in_unit_interval(self):
+        value = lcs_similarity("blocking keys", "black kings")
+        assert 0.0 <= value <= 1.0
+
+
+class TestTfidf:
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TfidfVectorizer().transform(["a"])
+
+    def test_identical_documents_cosine_one(self):
+        vec = TfidfVectorizer().fit([["a", "b"], ["c"]])
+        v = vec.transform(["a", "b"])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_disjoint_documents_cosine_zero(self):
+        vec = TfidfVectorizer().fit([["a"], ["b"]])
+        assert cosine_similarity(vec.transform(["a"]), vec.transform(["b"])) == 0.0
+
+    def test_rare_tokens_weigh_more(self):
+        corpus = [["common", "rare"], ["common"], ["common"], ["common"]]
+        vec = TfidfVectorizer().fit(corpus)
+        weights = vec.transform(["common", "rare"])
+        assert weights["rare"] > weights["common"]
+
+    def test_vectors_l2_normalised(self):
+        vec = TfidfVectorizer().fit([["a", "b", "c"]])
+        v = vec.transform(["a", "b"])
+        assert sum(w * w for w in v.values()) == pytest.approx(1.0)
+
+    def test_empty_document_vector(self):
+        vec = TfidfVectorizer().fit([["a"]])
+        assert vec.transform([]) == {}
+
+
+class TestRegistry:
+    def test_known_names(self):
+        names = available_similarities()
+        for expected in ("jaro_winkler", "edit", "bigram", "lcs"):
+            assert expected in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_similarity("nope")
+
+    def test_all_registered_functions_in_unit_interval(self):
+        for name in available_similarities():
+            fn = get_similarity(name)
+            for s1, s2 in (("wang", "wang"), ("wang", "wong"), ("a", "zz")):
+                assert 0.0 <= fn(s1, s2) <= 1.0, (name, s1, s2)
+
+    def test_exact(self):
+        exact = get_similarity("exact")
+        assert exact("x", "x") == 1.0
+        assert exact("x", "y") == 0.0

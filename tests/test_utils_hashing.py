@@ -1,0 +1,75 @@
+"""Tests for universal hashing used by minhash."""
+
+import numpy as np
+import pytest
+
+from repro.utils.hashing import (
+    MERSENNE_PRIME_61,
+    UniversalHashFamily,
+    stable_hash,
+)
+
+
+def test_stable_hash_is_stable():
+    assert stable_hash("entity resolution") == stable_hash("entity resolution")
+
+
+def test_stable_hash_differs_for_different_strings():
+    assert stable_hash("abc") != stable_hash("abd")
+
+
+def test_stable_hash_range():
+    for text in ("", "a", "blocking", "x" * 100):
+        assert 0 <= stable_hash(text) < (1 << 61)
+
+
+def test_family_rejects_zero_functions():
+    with pytest.raises(ValueError):
+        UniversalHashFamily(0, seed=1)
+
+
+def test_family_same_seed_same_coefficients():
+    values = np.array([3, 14, 159], dtype=np.uint64)
+    f1 = UniversalHashFamily(8, seed=5)
+    f2 = UniversalHashFamily(8, seed=5)
+    assert np.array_equal(f1.min_over(values), f2.min_over(values))
+
+
+def test_family_different_seeds_differ():
+    values = np.array([3, 14, 159], dtype=np.uint64)
+    f1 = UniversalHashFamily(8, seed=5)
+    f2 = UniversalHashFamily(8, seed=6)
+    assert not np.array_equal(f1.min_over(values), f2.min_over(values))
+
+
+def test_min_over_empty_returns_sentinel():
+    family = UniversalHashFamily(4, seed=0)
+    result = family.min_over(np.array([], dtype=np.uint64))
+    assert np.all(result == MERSENNE_PRIME_61)
+
+
+def test_min_over_matches_exact_object_arithmetic():
+    """The split-multiply modular trick must agree with Python ints."""
+    family = UniversalHashFamily(16, seed=11)
+    values = np.array(
+        [0, 1, 2, MERSENNE_PRIME_61 - 1, 123456789012345678 % MERSENNE_PRIME_61],
+        dtype=np.uint64,
+    )
+    exact_matrix = family.hash_matrix(values)
+    exact_min = exact_matrix.min(axis=1)
+    fast_min = family.min_over(values)
+    assert np.array_equal(exact_min, fast_min)
+
+
+def test_min_over_results_below_modulus():
+    family = UniversalHashFamily(8, seed=3)
+    values = np.array([17, 8912, 55555], dtype=np.uint64)
+    assert np.all(family.min_over(values) < MERSENNE_PRIME_61)
+
+
+def test_min_over_single_value_equals_hash():
+    family = UniversalHashFamily(4, seed=9)
+    value = np.array([42], dtype=np.uint64)
+    assert np.array_equal(
+        family.min_over(value), family.hash_matrix(value)[:, 0]
+    )

@@ -1,0 +1,41 @@
+"""Tests for seeded randomness helpers."""
+
+from repro.utils.rand import derive_seed, rng_from_seed
+
+
+def test_derive_seed_is_deterministic():
+    assert derive_seed(42, "minhash") == derive_seed(42, "minhash")
+
+
+def test_derive_seed_depends_on_label():
+    assert derive_seed(42, "minhash") != derive_seed(42, "semhash")
+
+
+def test_derive_seed_depends_on_parent_seed():
+    assert derive_seed(1, "x") != derive_seed(2, "x")
+
+
+def test_derive_seed_multiple_parts_order_matters():
+    assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+
+def test_derive_seed_is_63_bit_non_negative():
+    for seed in range(20):
+        value = derive_seed(seed, "part")
+        assert 0 <= value < (1 << 63)
+
+
+def test_rng_from_seed_reproducible_streams():
+    rng1 = rng_from_seed(7, "stream")
+    rng2 = rng_from_seed(7, "stream")
+    assert [rng1.random() for _ in range(5)] == [rng2.random() for _ in range(5)]
+
+
+def test_rng_from_seed_independent_streams_differ():
+    rng1 = rng_from_seed(7, "a")
+    rng2 = rng_from_seed(7, "b")
+    assert [rng1.random() for _ in range(5)] != [rng2.random() for _ in range(5)]
+
+
+def test_derive_seed_handles_non_string_parts():
+    assert derive_seed(1, 5, 2.0, True) == derive_seed(1, 5, 2.0, True)
