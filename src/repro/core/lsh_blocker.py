@@ -3,6 +3,15 @@
 Pipeline (§5.1): shingle each record's blocking attributes into q-grams,
 minhash into a k*l signature, band into l hash tables of k rows, and
 emit every bucket with at least two records as a block.
+
+Two engines produce identical blocks:
+
+* ``batch`` (default) — the corpus-level vectorized path: one
+  shingling pass with an interned vocabulary, one chunked
+  ``reduceat`` minhash over the CSR layout, byte-view band keys and
+  bulk bucket grouping (see DESIGN.md, "Batch signature engine");
+* ``per-record`` — the legacy record-at-a-time loop, kept as the
+  equivalence/benchmark reference.
 """
 
 from __future__ import annotations
@@ -11,7 +20,7 @@ import time
 
 from repro.core.base import Blocker, BlockingResult, make_blocks
 from repro.errors import ConfigurationError
-from repro.lsh.bands import split_bands
+from repro.lsh.bands import split_bands, split_bands_matrix
 from repro.lsh.index import BandedLSHIndex
 from repro.minhash.minhash import MinHasher
 from repro.minhash.shingling import Shingler
@@ -35,6 +44,10 @@ class LSHBlocker(Blocker):
         Seed for the minhash permutations.
     padded:
         Pad values before q-gram extraction.
+    batch:
+        Use the corpus-level vectorized engine (default). The
+        per-record engine produces identical blocks and exists for
+        equivalence tests and the perf benchmark.
     """
 
     def __init__(
@@ -46,6 +59,7 @@ class LSHBlocker(Blocker):
         *,
         seed: int = 0,
         padded: bool = False,
+        batch: bool = True,
         name: str | None = None,
     ) -> None:
         if k < 1 or l < 1:
@@ -55,6 +69,7 @@ class LSHBlocker(Blocker):
         self.k = k
         self.l = l
         self.seed = seed
+        self.batch = batch
         self.shingler = Shingler(self.attributes, q=q, padded=padded)
         self.hasher = MinHasher(num_hashes=k * l, seed=seed)
         self.name = name or "LSH"
@@ -62,17 +77,33 @@ class LSHBlocker(Blocker):
     def describe(self) -> str:
         return f"{self.name}(q={self.q}, k={self.k}, l={self.l})"
 
+    def _fill_index(self, dataset: Dataset, index: BandedLSHIndex) -> None:
+        if self.batch:
+            corpus = self.shingler.shingle_corpus(dataset)
+            signatures = self.hasher.signature_matrix(corpus)
+            keys = split_bands_matrix(signatures, self.k, self.l)
+            index.add_many(corpus.record_ids, keys)
+        else:
+            for record in dataset:
+                signature = self.hasher.signature(
+                    self.shingler.shingle_ids(record)
+                )
+                index.add(record.record_id, split_bands(signature, self.k, self.l))
+
     def block(self, dataset: Dataset) -> BlockingResult:
         start = time.perf_counter()
         index = BandedLSHIndex(self.l)
-        for record in dataset:
-            signature = self.hasher.signature(self.shingler.shingle_ids(record))
-            index.add(record.record_id, split_bands(signature, self.k, self.l))
+        self._fill_index(dataset, index)
         blocks = make_blocks(index.blocks())
         elapsed = time.perf_counter() - start
         return BlockingResult(
             blocker_name=self.name,
             blocks=blocks,
             seconds=elapsed,
-            metadata={"k": self.k, "l": self.l, "q": self.q},
+            metadata={
+                "k": self.k,
+                "l": self.l,
+                "q": self.q,
+                "engine": "batch" if self.batch else "per-record",
+            },
         )

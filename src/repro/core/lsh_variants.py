@@ -8,6 +8,10 @@ LSH forest (Bawa et al., WWW 2005) replaces fixed-length band keys with
 per-table prefix trees whose depth adapts to bucket occupancy. Both are
 implemented here as blockers so ablation benchmarks can compare the
 design choices directly.
+
+Like :class:`~repro.core.lsh_blocker.LSHBlocker`, both variants run on
+the corpus-level batch signature engine by default (``batch=True``) and
+keep the per-record path as the equivalence/benchmark reference.
 """
 
 from __future__ import annotations
@@ -19,7 +23,10 @@ import numpy as np
 
 from repro.core.base import Blocker, BlockingResult, make_blocks
 from repro.errors import ConfigurationError
-from repro.minhash.minhash import MinHasher
+from repro.lsh.bands import split_bands_matrix
+from repro.lsh.index import grouped_indices
+from repro.minhash.corpus import ShingledCorpus
+from repro.minhash.minhash import MinHasher, sentinel_stream
 from repro.minhash.shingling import Shingler
 from repro.records.dataset import Dataset
 from repro.utils.hashing import MERSENNE_PRIME_61, UniversalHashFamily
@@ -30,7 +37,9 @@ class _MinHasherWithRunnerUp(MinHasher):
 
     Multi-probe perturbation for minhash replaces one signature
     component with its runner-up: the nearest alternative bucket in
-    which the record would have landed.
+    which the record would have landed. Runner-ups count duplicate hash
+    values (a tied minimum is its own runner-up), matching
+    ``np.sort(...)[:, 1]`` on the full per-record hash matrix.
     """
 
     def signature_with_runner_up(
@@ -45,6 +54,58 @@ class _MinHasherWithRunnerUp(MinHasher):
             return minima, minima.copy()
         ordered = np.sort(matrix, axis=1)
         return ordered[:, 0], ordered[:, 1]
+
+    def signature_matrix_with_runner_up(
+        self, corpus: ShingledCorpus, *, chunk_elements: int = 2_000_000
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batch minima and runner-ups for a whole corpus.
+
+        Works like :meth:`MinHasher.signature_matrix` (vocabulary-level
+        hashing + ``reduceat`` minima over the CSR token stream), then
+        recovers each segment's runner-up by masking the *first*
+        occurrence of the minimum with the sentinel and reducing again —
+        duplicated minima therefore survive as their own runner-up,
+        byte-identical to the per-record sort.
+        """
+        n = corpus.num_records
+        sentinel = np.uint64(MERSENNE_PRIME_61)
+        minima = np.empty((n, self.num_hashes), dtype=np.uint64)
+        runners = np.empty((n, self.num_hashes), dtype=np.uint64)
+        if n == 0:
+            return minima, runners
+        if corpus.num_tokens == 0:
+            minima.fill(sentinel)
+            runners.fill(sentinel)
+            return minima, runners
+
+        counts = corpus.counts
+        single_rows = counts == 1
+        tokens_ext, starts, empty_rows = sentinel_stream(corpus)
+        stream = tokens_ext.shape[0]
+        segment_lengths = np.diff(np.append(starts, stream))
+        columns = np.arange(stream, dtype=np.int64)[None, :]
+
+        for lo, hi, gathered in self.gathered_chunks(
+            corpus, tokens_ext, chunk_elements
+        ):
+            min1 = np.minimum.reduceat(gathered, starts, axis=1)
+            # Position of the first occurrence of each segment's minimum.
+            expanded = np.repeat(min1, segment_lengths, axis=1)
+            position = np.where(gathered == expanded, columns, stream)
+            first = np.minimum.reduceat(position, starts, axis=1)
+            # Empty segments may report an out-of-range or neighbouring
+            # position; clipping lands on the sentinel column (a no-op
+            # write) or on the neighbour's own first-minimum position
+            # (an idempotent write).
+            first = np.minimum(first, stream - 1)
+            gathered[np.arange(hi - lo)[:, None], first] = sentinel
+            min2 = np.minimum.reduceat(gathered, starts, axis=1)
+            min1[:, empty_rows] = sentinel
+            min2[:, empty_rows] = sentinel
+            min2[:, single_rows] = min1[:, single_rows]
+            minima[:, lo:hi] = min1.T
+            runners[:, lo:hi] = min2.T
+        return minima, runners
 
 
 class MultiProbeLSHBlocker(Blocker):
@@ -66,6 +127,7 @@ class MultiProbeLSHBlocker(Blocker):
         *,
         num_probes: int | None = None,
         seed: int = 0,
+        batch: bool = True,
         name: str | None = None,
     ) -> None:
         if k < 1 or l < 1:
@@ -80,6 +142,7 @@ class MultiProbeLSHBlocker(Blocker):
                 f"num_probes must be in [0, k]; got {self.num_probes}"
             )
         self.seed = seed
+        self.batch = batch
         self.shingler = Shingler(self.attributes, q=q)
         self.hasher = _MinHasherWithRunnerUp(num_hashes=k * l, seed=seed)
         self.name = name or "MP-LSH"
@@ -90,8 +153,54 @@ class MultiProbeLSHBlocker(Blocker):
             f"probes={self.num_probes})"
         )
 
-    def block(self, dataset: Dataset) -> BlockingResult:
-        start = time.perf_counter()
+    def _block_batch(self, dataset: Dataset) -> list[list[str]]:
+        corpus = self.shingler.shingle_corpus(dataset)
+        minima, runners = self.hasher.signature_matrix_with_runner_up(corpus)
+        n = corpus.num_records
+        ids = np.asarray(corpus.record_ids, dtype=object)
+        exact_keys = split_bands_matrix(minima, self.k, self.l)
+
+        groups: list[list[str]] = []
+        entry_record = np.repeat(np.arange(n), self.num_probes)
+        for table in range(self.l):
+            lo = table * self.k
+            band = minima[:, lo : lo + self.k]
+            # Probe keys in (record-major, probe-row) order, matching the
+            # per-record insertion order of the legacy path.
+            probe_cols = []
+            for probe_row in range(self.num_probes):
+                perturbed = band.copy()
+                perturbed[:, probe_row] = runners[:, lo + probe_row]
+                probe_cols.append(
+                    np.ascontiguousarray(perturbed)
+                    .reshape(-1)
+                    .view(f"S{8 * self.k}")
+                )
+            if probe_cols:
+                probe_keys = np.stack(probe_cols, axis=1).reshape(-1)
+            else:
+                probe_keys = np.empty(0, dtype=exact_keys.dtype)
+
+            all_keys = np.concatenate([exact_keys[:, table], probe_keys])
+            _, labels = np.unique(all_keys, return_inverse=True)
+            exact_labels = labels[:n]
+            probe_labels = labels[n:]
+            probes_by_label = {
+                int(probe_labels[group[0]]): group
+                for group in grouped_indices(probe_labels)
+            }
+            for members in grouped_indices(exact_labels):
+                probe_group = probes_by_label.get(int(exact_labels[members[0]]))
+                group_ids = ids[members].tolist()
+                if probe_group is not None:
+                    probe_records = entry_record[probe_group]
+                    keep = ~np.isin(probe_records, members)
+                    group_ids.extend(ids[probe_records[keep]].tolist())
+                if len(group_ids) >= 2:
+                    groups.append(group_ids)
+        return groups
+
+    def _block_per_record(self, dataset: Dataset) -> list[list[str]]:
         exact_buckets: list[dict] = [defaultdict(list) for _ in range(self.l)]
         probe_membership: list[dict] = [defaultdict(list) for _ in range(self.l)]
 
@@ -121,7 +230,15 @@ class MultiProbeLSHBlocker(Blocker):
                 group = members + probers
                 if len(group) >= 2:
                     groups.append(group)
+        return groups
 
+    def block(self, dataset: Dataset) -> BlockingResult:
+        start = time.perf_counter()
+        groups = (
+            self._block_batch(dataset)
+            if self.batch
+            else self._block_per_record(dataset)
+        )
         blocks = make_blocks(groups)
         elapsed = time.perf_counter() - start
         return BlockingResult(
@@ -131,6 +248,7 @@ class MultiProbeLSHBlocker(Blocker):
             metadata={
                 "k": self.k, "l": self.l, "q": self.q,
                 "num_probes": self.num_probes,
+                "engine": "batch" if self.batch else "per-record",
             },
         )
 
@@ -153,6 +271,7 @@ class LSHForestBlocker(Blocker):
         *,
         max_block_size: int = 50,
         seed: int = 0,
+        batch: bool = True,
         name: str | None = None,
     ) -> None:
         if k < 1 or l < 1:
@@ -167,6 +286,7 @@ class LSHForestBlocker(Blocker):
         self.l = l
         self.max_block_size = max_block_size
         self.seed = seed
+        self.batch = batch
         self.shingler = Shingler(self.attributes, q=q)
         self.hasher = MinHasher(num_hashes=k * l, seed=seed)
         self.name = name or "LSH-Forest"
@@ -178,45 +298,47 @@ class LSHForestBlocker(Blocker):
         )
 
     def _split(
-        self,
-        members: list[str],
-        tuples: dict[str, tuple[int, ...]],
-        depth: int,
-    ) -> list[list[str]]:
-        if len(members) <= self.max_block_size or depth >= self.k:
+        self, members: np.ndarray, band: np.ndarray, depth: int
+    ) -> list[np.ndarray]:
+        """Prefix-tree descent over row indices.
+
+        ``band`` is the table's (n, k) signature slice; partitions are
+        in first-occurrence order with members ascending, exactly like a
+        dict-of-lists insertion loop.
+        """
+        if members.size <= self.max_block_size or depth >= self.k:
             return [members]
-        partitions: dict[int, list[str]] = defaultdict(list)
-        for record_id in members:
-            partitions[tuples[record_id][depth]].append(record_id)
+        partitions = grouped_indices(band[members, depth])
         if len(partitions) == 1:
             # All equal on this position; descend without splitting.
-            return self._split(members, tuples, depth + 1)
-        result: list[list[str]] = []
-        for bucket in partitions.values():
-            result.extend(self._split(bucket, tuples, depth + 1))
+            return self._split(members, band, depth + 1)
+        result: list[np.ndarray] = []
+        for part in partitions:
+            result.extend(self._split(members[part], band, depth + 1))
         return result
+
+    def _signatures(self, dataset: Dataset) -> tuple[tuple[str, ...], np.ndarray]:
+        if self.batch:
+            corpus = self.shingler.shingle_corpus(dataset)
+            return corpus.record_ids, self.hasher.signature_matrix(corpus)
+        ids = []
+        rows = np.empty((len(dataset), self.hasher.num_hashes), dtype=np.uint64)
+        for i, record in enumerate(dataset):
+            ids.append(record.record_id)
+            rows[i] = self.hasher.signature(self.shingler.shingle_ids(record))
+        return tuple(ids), rows
 
     def block(self, dataset: Dataset) -> BlockingResult:
         start = time.perf_counter()
-        signatures: dict[str, np.ndarray] = {
-            record.record_id: self.hasher.signature(
-                self.shingler.shingle_ids(record)
-            )
-            for record in dataset
-        }
+        record_ids, signatures = self._signatures(dataset)
+        ids = np.asarray(record_ids, dtype=object)
         groups: list[list[str]] = []
         for table in range(self.l):
-            lo = table * self.k
-            tuples = {
-                rid: tuple(int(v) for v in sig[lo : lo + self.k])
-                for rid, sig in signatures.items()
-            }
+            band = signatures[:, table * self.k : (table + 1) * self.k]
             # Root split on the first position, then adaptive descent.
-            roots: dict[int, list[str]] = defaultdict(list)
-            for rid, values in tuples.items():
-                roots[values[0]].append(rid)
-            for bucket in roots.values():
-                groups.extend(self._split(bucket, tuples, depth=1))
+            for bucket in grouped_indices(band[:, 0]):
+                for rows in self._split(bucket, band, depth=1):
+                    groups.append(ids[rows].tolist())
 
         blocks = make_blocks(groups)
         elapsed = time.perf_counter() - start
@@ -227,5 +349,6 @@ class LSHForestBlocker(Blocker):
             metadata={
                 "k": self.k, "l": self.l, "q": self.q,
                 "max_block_size": self.max_block_size,
+                "engine": "batch" if self.batch else "per-record",
             },
         )

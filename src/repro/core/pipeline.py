@@ -73,8 +73,14 @@ def tune_from_dataset(dataset: Dataset, config: PipelineConfig) -> TunedParamete
         )
     shingler = Shingler(config.attributes, q=config.q)
     pairs = sorted(dataset.true_matches)[: config.training_pairs]
+    # Shingle each distinct training record once (interned corpus pass)
+    # instead of re-shingling per pair; corpus-level Jaccard over the
+    # interned vocabulary ids is exact, like the textual Jaccard.
+    training_ids = sorted({record_id for pair in pairs for record_id in pair})
+    corpus = shingler.shingle_corpus(dataset[rid] for rid in training_ids)
+    rows = corpus.row_index
     similarities = [
-        shingler.jaccard(dataset[id1], dataset[id2]) for id1, id2 in pairs
+        corpus.jaccard(rows[id1], rows[id2]) for id1, id2 in pairs
     ]
     sh = determine_sh(similarities, config.epsilon)
     sh = min(max(sh, 0.05), 0.99)

@@ -20,6 +20,33 @@ def split_bands(signature: np.ndarray, k: int, l: int) -> list[tuple[int, ...]]:
     return [tuple(int(v) for v in signature[band * k : (band + 1) * k]) for band in range(l)]
 
 
+def split_bands_matrix(signatures: np.ndarray, k: int, l: int) -> np.ndarray:
+    """All band keys of all records in one pass — the batch form.
+
+    ``signatures`` is the ``(n, k * l)`` uint64 signature matrix of a
+    corpus (row order = record order). Returns an ``(n, l)`` array of
+    opaque band keys: each key is the little-endian byte view of the
+    contiguous k-value signature slice (dtype ``S{8k}``), so two keys
+    compare equal exactly when the corresponding k-tuples from
+    :func:`split_bands` are equal. The fixed-width bytes keys are
+    hashable, sortable and ``np.unique``-able without materialising
+    ``n * l`` Python tuples.
+
+    Note numpy's S dtype truncates trailing NUL bytes when a scalar is
+    *read*; since every key starts from exactly ``8 * k`` bytes, the
+    truncation is injective and equality/grouping semantics are
+    unaffected. Re-pad with ``key.ljust(8 * k, b"\\0")`` to recover the
+    raw uint64 tuple.
+    """
+    if signatures.ndim != 2 or signatures.shape[1] != k * l:
+        raise ConfigurationError(
+            f"signature matrix of shape {signatures.shape} incompatible "
+            f"with k*l = {k * l}"
+        )
+    contiguous = np.ascontiguousarray(signatures, dtype=np.uint64)
+    return contiguous.reshape(-1).view(f"S{8 * k}").reshape(-1, l)
+
+
 def band_keys(signature: np.ndarray, k: int, l: int) -> list[int]:
     """Hashed band keys — one Python int per hash table.
 

@@ -6,12 +6,31 @@ the buckets that hold at least two records. The optional semantic gate
 record's semhash signature, implementing the w-way AND/OR functions of
 paper §5.2 without pairwise work (see DESIGN.md, "O(n) SA-LSH bucket
 construction").
+
+Two insertion styles fill the same index:
+
+* :meth:`BandedLSHIndex.add` — one record at a time into per-table
+  dicts of buckets (the legacy path);
+* :meth:`BandedLSHIndex.add_many` — a whole corpus at once: buckets
+  are derived per table by one vectorized sort-and-segment pass and
+  stored as grouped arrays, never touching a Python dict (see
+  DESIGN.md, "Batch signature engine"). Both styles emit buckets in
+  first-occurrence order with members in insertion order, so
+  :meth:`BandedLSHIndex.blocks` is byte-identical across them.
+
+  Buckets never merge across insertion calls: each ``add_many`` call
+  groups only the records it was given, and its buckets stay separate
+  from dict buckets and from other ``add_many`` calls even under equal
+  band keys. Insert one corpus with one call; streaming slab-wise
+  insertion that merges across calls is future work (see ROADMAP.md).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from typing import Callable, Hashable, Iterable, Sequence
+
+import numpy as np
 
 GateFn = Callable[[int, str], Sequence[Hashable]]
 #: A gate takes (table_index, record_id) and returns the bucket-key
@@ -21,6 +40,81 @@ GateFn = Callable[[int, str], Sequence[Hashable]]
 
 def _no_gate(_table: int, _record_id: str) -> Sequence[Hashable]:
     return (0,)
+
+
+#: Batch gate entries for one table: ``(entry_rows, suffixes)`` where
+#: ``entry_rows`` are record row indices (one per insertion, possibly
+#: repeated for multi-suffix OR gates) and ``suffixes`` is either a
+#: single hashable shared by all entries (AND gates) or a per-entry
+#: int array (OR gates). An empty ``entry_rows`` excludes every record
+#: from the table.
+GateEntries = tuple[np.ndarray, "np.ndarray | Hashable"]
+
+
+def _segment(labels: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort-and-segment equal labels: (order, starts, ends).
+
+    ``order`` is a stable permutation grouping equal labels; group ``g``
+    occupies ``order[starts[g]:ends[g]]``. Stability keeps positions
+    ascending within each group.
+    """
+    order = np.argsort(labels, kind="stable")
+    ordered = labels[order]
+    boundaries = np.flatnonzero(ordered[1:] != ordered[:-1]) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [labels.size]])
+    return order, starts, ends
+
+
+def grouped_indices(labels: np.ndarray) -> list[np.ndarray]:
+    """Group positions of equal labels, vectorized.
+
+    Returns one int array per distinct label. Positions within a group
+    are ascending and groups are ordered by first occurrence — exactly
+    the order a ``dict``-of-lists insertion loop over ``labels`` would
+    produce, which keeps batch blockers byte-identical to the legacy
+    per-record path.
+    """
+    if labels.size == 0:
+        return []
+    order, starts, ends = _segment(labels)
+    first_occurrence = np.argsort(order[starts], kind="stable")
+    return [
+        order[starts[g] : ends[g]] for g in first_occurrence
+    ]
+
+
+class _BulkBuckets:
+    """Grouped buckets of one ``add_many`` call for one table.
+
+    ``members`` holds record ids permuted into group order; bucket ``g``
+    is ``members[starts[g]:ends[g]]`` and ``emit_order`` lists buckets
+    by first occurrence. Keeping the arrays (instead of dict entries)
+    makes bulk insertion O(sort) and lets :meth:`BandedLSHIndex.blocks`
+    skip singleton buckets without materialising them.
+    """
+
+    __slots__ = ("members", "starts", "ends", "emit_order")
+
+    def __init__(
+        self,
+        members: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        emit_order: np.ndarray,
+    ) -> None:
+        self.members = members
+        self.starts = starts
+        self.ends = ends
+        self.emit_order = emit_order
+
+    def sizes(self) -> np.ndarray:
+        return self.ends - self.starts
+
+    def iter_buckets(self, min_size: int) -> Iterable[tuple[str, ...]]:
+        sizes = self.sizes()
+        for g in self.emit_order[sizes[self.emit_order] >= min_size]:
+            yield tuple(self.members[self.starts[g] : self.ends[g]])
 
 
 class BandedLSHIndex:
@@ -33,6 +127,7 @@ class BandedLSHIndex:
         self._tables: list[dict[Hashable, list[str]]] = [
             defaultdict(list) for _ in range(num_tables)
         ]
+        self._bulk: list[list[_BulkBuckets]] = [[] for _ in range(num_tables)]
 
     def add(
         self,
@@ -60,6 +155,81 @@ class BandedLSHIndex:
             for suffix in gate(table_index, record_id):
                 self._tables[table_index][(key, suffix)].append(record_id)
 
+    def add_many(
+        self,
+        record_ids: Sequence[str],
+        key_matrix: np.ndarray,
+        gate_entries: Sequence[GateEntries | None] | None = None,
+    ) -> None:
+        """Bulk insertion of a whole corpus — the batch counterpart of
+        :meth:`add`.
+
+        Parameters
+        ----------
+        record_ids:
+            One id per key-matrix row, in dataset order.
+        key_matrix:
+            ``(n, num_tables)`` array of band keys, one column per
+            table, as produced by
+            :func:`repro.lsh.bands.split_bands_matrix`. Any sortable
+            ``np.unique``-able dtype works.
+        gate_entries:
+            Optional per-table batch gates (see :data:`GateEntries`);
+            ``None`` inserts every record once per table, like the
+            per-record no-gate path.
+
+        Buckets come out of :meth:`blocks` in first-occurrence order
+        with members in dataset order — exactly what n calls to
+        :meth:`add` would have produced — at the cost of one stable
+        sort per table instead of per-record dict operations.
+
+        Records of *one corpus* must arrive in *one call*: buckets do
+        not merge with earlier ``add_many`` or :meth:`add` insertions,
+        so splitting a corpus across calls silently splits its blocks.
+        """
+        n = len(record_ids)
+        key_matrix = np.asarray(key_matrix)
+        if key_matrix.shape[:2] != (n, self.num_tables):
+            raise ValueError(
+                f"expected a ({n}, {self.num_tables}) key matrix, got "
+                f"shape {key_matrix.shape}"
+            )
+        if gate_entries is not None and len(gate_entries) != self.num_tables:
+            raise ValueError(
+                f"expected {self.num_tables} gate entries, got {len(gate_entries)}"
+            )
+        if n == 0:
+            return
+        ids = np.asarray(record_ids, dtype=object)
+        for table in range(self.num_tables):
+            keys_col = key_matrix[:, table]
+            if gate_entries is None or gate_entries[table] is None:
+                # Band keys sort directly; no per-entry suffixes.
+                order, starts, ends = _segment(keys_col)
+                entry_ids = ids
+            else:
+                entry_rows, suffixes = gate_entries[table]
+                entry_rows = np.asarray(entry_rows, dtype=np.int64)
+                if entry_rows.size == 0:
+                    continue
+                _, band_label = np.unique(keys_col, return_inverse=True)
+                if isinstance(suffixes, np.ndarray):
+                    # Distinct (band, suffix) pairs need distinct
+                    # labels: stride the band label by the suffix range.
+                    suffixes = suffixes.astype(np.int64, copy=False)
+                    span = int(suffixes.max()) + 1
+                    labels = band_label[entry_rows] * span + suffixes
+                else:
+                    # One shared suffix (AND gates): the band label
+                    # alone separates buckets.
+                    labels = band_label[entry_rows]
+                order, starts, ends = _segment(labels)
+                entry_ids = ids[entry_rows]
+            emit_order = np.argsort(order[starts], kind="stable")
+            self._bulk[table].append(
+                _BulkBuckets(entry_ids[order], starts, ends, emit_order)
+            )
+
     def blocks(self, *, min_size: int = 2) -> list[tuple[str, ...]]:
         """All buckets holding at least ``min_size`` records.
 
@@ -68,14 +238,20 @@ class BandedLSHIndex:
         as the paper's framework intends).
         """
         found: list[tuple[str, ...]] = []
-        for table in self._tables:
-            for members in table.values():
+        for table in range(self.num_tables):
+            for members in self._tables[table].values():
                 if len(members) >= min_size:
                     found.append(tuple(members))
+            for bulk in self._bulk[table]:
+                found.extend(bulk.iter_buckets(min_size))
         return found
 
     def bucket_sizes(self) -> list[int]:
         """Sizes of all non-empty buckets (diagnostics)."""
-        return [
+        sizes = [
             len(members) for table in self._tables for members in table.values()
         ]
+        for per_table in self._bulk:
+            for bulk in per_table:
+                sizes.extend(bulk.sizes()[bulk.emit_order].tolist())
+        return sizes

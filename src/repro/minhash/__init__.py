@@ -1,10 +1,12 @@
 """Minhash signatures over q-gram shingles (paper Section 5.1)."""
 
+from repro.minhash.corpus import ShingledCorpus
 from repro.minhash.shingling import Shingler
 from repro.minhash.minhash import MinHasher
 from repro.minhash.signature import SignatureMatrix, build_signature_matrix
 
 __all__ = [
+    "ShingledCorpus",
     "Shingler",
     "MinHasher",
     "SignatureMatrix",

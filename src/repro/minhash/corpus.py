@@ -1,0 +1,91 @@
+"""Corpus-level shingle layout for the batch signature engine.
+
+A :class:`ShingledCorpus` is the output of one pass of
+:meth:`repro.minhash.shingling.Shingler.shingle_corpus` over a dataset:
+the shingle *vocabulary* is interned (each distinct q-gram hashed
+exactly once) and every record's shingle set is stored as a slice of a
+single concatenated token array — a CSR-style layout that downstream
+batch kernels (:meth:`repro.minhash.minhash.MinHasher.signature_matrix`)
+reduce with ``np.minimum.reduceat`` instead of n per-record broadcasts.
+See DESIGN.md, "Batch signature engine".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ShingledCorpus:
+    """Interned shingle sets of a record collection.
+
+    Attributes
+    ----------
+    record_ids:
+        Record identifiers, one per CSR row, in dataset order.
+    indptr:
+        ``(n + 1,)`` int64 row pointers: record ``i`` owns tokens
+        ``token_vocab[indptr[i]:indptr[i + 1]]``. Empty shingle sets are
+        empty slices (the batch minhash kernel maps them to the same
+        sentinel signature as the per-record path).
+    token_vocab:
+        Concatenated per-record vocabulary indices (int64). Within a
+        record the tokens are distinct; their order is unspecified —
+        minhash minima are order-invariant.
+    vocab_hashes:
+        ``(V,)`` uint64 stable 61-bit shingle ids (already reduced
+        modulo 2^61 - 1), one per distinct shingle string.
+    """
+
+    record_ids: tuple[str, ...]
+    indptr: np.ndarray
+    token_vocab: np.ndarray
+    vocab_hashes: np.ndarray
+
+    @property
+    def num_records(self) -> int:
+        return len(self.record_ids)
+
+    @property
+    def num_tokens(self) -> int:
+        return int(self.indptr[-1])
+
+    @property
+    def vocab_size(self) -> int:
+        return int(self.vocab_hashes.shape[0])
+
+    @cached_property
+    def row_index(self) -> dict[str, int]:
+        """Record id -> CSR row."""
+        return {rid: i for i, rid in enumerate(self.record_ids)}
+
+    @cached_property
+    def counts(self) -> np.ndarray:
+        """Shingle-set size per record."""
+        return np.diff(self.indptr)
+
+    def tokens_of(self, row: int) -> np.ndarray:
+        """Vocabulary indices of one record's shingle set."""
+        return self.token_vocab[self.indptr[row] : self.indptr[row + 1]]
+
+    def shingle_ids_of(self, row: int) -> np.ndarray:
+        """Stable hashed shingle ids of one record (unsorted uint64)."""
+        return self.vocab_hashes[self.tokens_of(row)]
+
+    def jaccard(self, row1: int, row2: int) -> float:
+        """Exact Jaccard similarity of two records' shingle sets.
+
+        Operates on interned vocabulary indices, so (unlike comparing
+        hashed ids) it is exact even under 61-bit hash collisions.
+        Two empty sets are fully similar, matching
+        :meth:`repro.minhash.shingling.Shingler.jaccard`.
+        """
+        s1, s2 = self.tokens_of(row1), self.tokens_of(row2)
+        if s1.size == 0 and s2.size == 0:
+            return 1.0
+        intersection = np.intersect1d(s1, s2, assume_unique=True).size
+        union = s1.size + s2.size - intersection
+        return intersection / union if union else 1.0

@@ -11,7 +11,32 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.utils.hashing import UniversalHashFamily
+from repro.minhash.corpus import ShingledCorpus
+from repro.utils.hashing import MERSENNE_PRIME_61, UniversalHashFamily
+
+#: Upper bound on the number of gathered hash values a single batch
+#: chunk may materialise (elements, not bytes): bounds the working set
+#: of :meth:`MinHasher.signature_matrix` at ~64 MiB of uint64 per chunk.
+_CHUNK_ELEMENTS = 8_000_000
+
+
+def sentinel_stream(
+    corpus: ShingledCorpus,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sentinel-extended token stream of a corpus: ``(tokens_ext,
+    starts, empty_rows)``.
+
+    The token stream gains one virtual sentinel token (vocabulary index
+    ``V``, hashing to the modulus ``p`` under every function). This
+    keeps every ``reduceat`` start index in range (a trailing empty
+    record's start equals the stream length) without truncating the
+    last non-empty segment, and ``p`` never wins a minimum because real
+    hash values are < p. Empty records mid-stream reduce to a
+    neighbour's value — callers overwrite ``empty_rows`` with the
+    sentinel afterwards.
+    """
+    tokens_ext = np.concatenate([corpus.token_vocab, [corpus.vocab_size]])
+    return tokens_ext, corpus.indptr[:-1], corpus.counts == 0
 
 
 class MinHasher:
@@ -45,6 +70,64 @@ class MinHasher:
         identical.
         """
         return self._family.min_over(shingle_ids)
+
+    def signature_matrix(
+        self, corpus: ShingledCorpus, *, chunk_elements: int = _CHUNK_ELEMENTS
+    ) -> np.ndarray:
+        """Minhash signatures for a whole corpus in one vectorized pass.
+
+        Evaluates the universal hash family over the interned shingle
+        *vocabulary* once (each distinct shingle hashed ``num_hashes``
+        times total, however many records contain it), gathers the
+        values along the corpus's CSR token stream, and reduces
+        per-record minima with ``np.minimum.reduceat``. The work is
+        chunked over hash functions so no intermediate exceeds
+        ``chunk_elements`` values (see DESIGN.md, "Batch signature
+        engine").
+
+        Returns a ``(num_records, num_hashes)`` uint64 matrix whose row
+        ``i`` is byte-identical to ``signature(shingle_ids(record_i))``,
+        including the empty-set sentinel rows.
+        """
+        n = corpus.num_records
+        out = np.empty((n, self.num_hashes), dtype=np.uint64)
+        if n == 0:
+            return out
+        if corpus.num_tokens == 0:
+            out.fill(MERSENNE_PRIME_61)
+            return out
+
+        tokens_ext, starts, empty_rows = sentinel_stream(corpus)
+        for lo, hi, gathered in self.gathered_chunks(
+            corpus, tokens_ext, chunk_elements
+        ):
+            minima = np.minimum.reduceat(gathered, starts, axis=1)
+            minima[:, empty_rows] = MERSENNE_PRIME_61
+            out[:, lo:hi] = minima.T
+        return out
+
+    def gathered_chunks(
+        self, corpus: ShingledCorpus, tokens_ext: np.ndarray, chunk_elements: int
+    ):
+        """Yield ``(lo, hi, gathered)`` hash-function chunks.
+
+        ``gathered`` is the ``(hi - lo, num_tokens + 1)`` matrix of hash
+        values along the sentinel-extended token stream: the family is
+        evaluated once per chunk over the vocabulary (plus the sentinel
+        column at value p) and gathered to the stream. Chunks are sized
+        so ``gathered`` stays under ``chunk_elements`` values.
+        """
+        stream = tokens_ext.shape[0]
+        sentinel = np.uint64(MERSENNE_PRIME_61)
+        rows_per_chunk = max(1, min(self.num_hashes, chunk_elements // stream))
+        for lo in range(0, self.num_hashes, rows_per_chunk):
+            hi = min(lo + rows_per_chunk, self.num_hashes)
+            vocab_values = self._family.hash_values(corpus.vocab_hashes, lo, hi)
+            vocab_values = np.concatenate(
+                [vocab_values, np.full((hi - lo, 1), sentinel, dtype=np.uint64)],
+                axis=1,
+            )
+            yield lo, hi, vocab_values[:, tokens_ext]
 
     def estimate_jaccard(self, sig1: np.ndarray, sig2: np.ndarray) -> float:
         """Fraction of agreeing components — unbiased Jaccard estimate."""

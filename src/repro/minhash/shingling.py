@@ -9,11 +9,12 @@ so minhash can work on numeric arrays.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.minhash.corpus import ShingledCorpus
 from repro.records.record import Record
 from repro.text.normalize import normalize
 from repro.text.qgrams import qgrams
@@ -61,11 +62,85 @@ class Shingler:
         return frozenset(grams)
 
     def shingle_ids(self, record: Record) -> np.ndarray:
-        """Stable numeric ids of the record's shingles (sorted uint64)."""
-        ids = sorted(
+        """Stable numeric ids of the record's shingles (uint64).
+
+        The *multiset* of ids is deterministic (SHA-1 based), but the
+        array order is unspecified: minhash minima are order-invariant,
+        so sorting here would be wasted work. Callers that need a
+        canonical order (none in this library) must sort themselves.
+        """
+        ids = [
             stable_hash(gram) % MERSENNE_PRIME_61 for gram in self.shingles(record)
-        )
+        ]
         return np.array(ids, dtype=np.uint64)
+
+    def shingle_corpus(self, records: Iterable[Record]) -> ShingledCorpus:
+        """One-pass corpus shingling with an interned vocabulary.
+
+        Each distinct shingle string across the whole corpus is
+        SHA-1-hashed exactly once; records are stored as CSR rows of
+        vocabulary indices. This is the entry point of the batch
+        signature engine (see DESIGN.md): downstream kernels evaluate
+        hash families over the vocabulary instead of per record.
+        """
+        vocab: dict[str, int] = {}
+        vocab_hashes: list[int] = []
+        indptr: list[int] = [0]
+        tokens: list[int] = []
+        record_ids: list[str] = []
+
+        def intern_value(attribute: str, value: str) -> list[int]:
+            """Token ids of one attribute value's shingles."""
+            grams: Iterable[str]
+            normalized = normalize(value)
+            if not normalized:
+                grams = ()
+            elif self.q is None:
+                grams = (f"{attribute}={normalized}",)
+            else:
+                grams = qgrams(normalized, self.q, padded=self.padded)
+            value_tokens: list[int] = []
+            for gram in grams:
+                index = vocab.get(gram)
+                if index is None:
+                    index = len(vocab)
+                    vocab[gram] = index
+                    vocab_hashes.append(stable_hash(gram) % MERSENNE_PRIME_61)
+                value_tokens.append(index)
+            return value_tokens
+
+        # Shingle sets depend only on the attribute values, which repeat
+        # heavily in real corpora (duplicate entities, small name
+        # pools): memoize token ids per value — and per value *tuple* —
+        # so repeated records skip normalization, q-gram extraction and
+        # interning entirely.
+        by_value: dict[tuple[str, str], list[int]] = {}
+        by_values: dict[tuple[str, ...], list[int]] = {}
+        for record in records:
+            record_ids.append(record.record_id)
+            values = tuple(record.get(attribute) for attribute in self.attributes)
+            row_tokens = by_values.get(values)
+            if row_tokens is None:
+                merged: list[int] = []
+                for attribute, value in zip(self.attributes, values):
+                    key = (attribute, value)
+                    value_tokens = by_value.get(key)
+                    if value_tokens is None:
+                        value_tokens = intern_value(attribute, value)
+                        by_value[key] = value_tokens
+                    merged.extend(value_tokens)
+                # A record's shingles form a set: q-grams repeated
+                # within a value or shared across attributes count once.
+                row_tokens = list(dict.fromkeys(merged))
+                by_values[values] = row_tokens
+            tokens.extend(row_tokens)
+            indptr.append(len(tokens))
+        return ShingledCorpus(
+            record_ids=tuple(record_ids),
+            indptr=np.asarray(indptr, dtype=np.int64),
+            token_vocab=np.asarray(tokens, dtype=np.int64),
+            vocab_hashes=np.asarray(vocab_hashes, dtype=np.uint64),
+        )
 
     def jaccard(self, record1: Record, record2: Record) -> float:
         """Exact Jaccard similarity of two records' shingle sets.

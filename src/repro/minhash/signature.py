@@ -43,10 +43,13 @@ class SignatureMatrix:
 def build_signature_matrix(
     dataset: Dataset, shingler: Shingler, hasher: MinHasher
 ) -> SignatureMatrix:
-    """Shingle and minhash every record of ``dataset``."""
-    rows = np.empty((len(dataset), hasher.num_hashes), dtype=np.uint64)
-    ids = []
-    for i, record in enumerate(dataset):
-        ids.append(record.record_id)
-        rows[i] = hasher.signature(shingler.shingle_ids(record))
-    return SignatureMatrix(record_ids=tuple(ids), matrix=rows)
+    """Shingle and minhash every record of ``dataset``.
+
+    Runs on the corpus-level batch engine: one interned shingling pass
+    and a chunked vectorized minhash, byte-identical to hashing each
+    record separately.
+    """
+    corpus = shingler.shingle_corpus(dataset)
+    return SignatureMatrix(
+        record_ids=corpus.record_ids, matrix=hasher.signature_matrix(corpus)
+    )

@@ -23,7 +23,14 @@ from repro.semantic.similarity import (
     record_semantic_similarity,
     related_pairs,
 )
-from repro.semantic.semhash import SemhashEncoder, semhash_jaccard
+from repro.semantic.semhash import (
+    SemhashEncoder,
+    pack_signatures,
+    pairwise_jaccard_packed,
+    semhash_jaccard,
+    semhash_jaccard_packed,
+    unpack_signatures,
+)
 from repro.semantic.hashing import WWaySemanticHashFamily
 from repro.semantic.analysis import (
     SemanticFeatureQuality,
@@ -46,6 +53,10 @@ __all__ = [
     "related_pairs",
     "SemhashEncoder",
     "semhash_jaccard",
+    "semhash_jaccard_packed",
+    "pack_signatures",
+    "unpack_signatures",
+    "pairwise_jaccard_packed",
     "WWaySemanticHashFamily",
     "SemanticFeatureQuality",
     "analyse_semantic_features",

@@ -23,9 +23,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+import numpy as np
+
+from repro.errors import SemanticFunctionError
 from repro.records.dataset import Dataset
 from repro.records.ground_truth import Pair
 from repro.semantic.interpretation import SemanticFunction
+from repro.semantic.semhash import SemhashEncoder, pairwise_jaccard_packed
 from repro.semantic.similarity import leaf_expansion_similarity
 
 
@@ -63,10 +67,23 @@ def analyse_semantic_features(
     training set.
     """
     forest = semantic_function.forest
-    interpretations = {
-        record.record_id: semantic_function.interpret(record)
-        for record in dataset
-    }
+    # The encoder's semhash signatures realise leaf-expansion Jaccard
+    # bit-wise over this very population, so the pair loop collapses to
+    # packed popcounts; a population with no concepts at all falls back
+    # to the direct per-pair computation.
+    try:
+        encoder: SemhashEncoder | None = SemhashEncoder(semantic_function, dataset)
+    except SemanticFunctionError:
+        encoder = None
+    if encoder is not None:
+        interpretations = {
+            record.record_id: encoder.interpretation(record) for record in dataset
+        }
+    else:
+        interpretations = {
+            record.record_id: semantic_function.interpret(record)
+            for record in dataset
+        }
 
     uncertain = sum(
         1
@@ -81,14 +98,25 @@ def analyse_semantic_features(
     )
     noisy = 0
     heterogeneous = 0
-    for id1, id2 in pairs:
-        similarity = leaf_expansion_similarity(
-            forest, interpretations[id1], interpretations[id2]
+    if encoder is not None and pairs:
+        packed = encoder.packed_signature_matrix(dataset)
+        row = {record_id: i for i, record_id in enumerate(dataset.record_ids)}
+        left = np.fromiter((row[id1] for id1, _ in pairs), np.int64, len(pairs))
+        right = np.fromiter((row[id2] for _, id2 in pairs), np.int64, len(pairs))
+        similarities = pairwise_jaccard_packed(packed[left], packed[right])
+        noisy = int(np.count_nonzero(similarities == 0.0))
+        heterogeneous = int(
+            np.count_nonzero((similarities > 0.0) & (similarities < 1.0))
         )
-        if similarity == 0.0:
-            noisy += 1
-        elif similarity < 1.0:
-            heterogeneous += 1
+    else:
+        for id1, id2 in pairs:
+            similarity = leaf_expansion_similarity(
+                forest, interpretations[id1], interpretations[id2]
+            )
+            if similarity == 0.0:
+                noisy += 1
+            elif similarity < 1.0:
+                heterogeneous += 1
 
     num_pairs = max(len(pairs), 1)
     return SemanticFeatureQuality(

@@ -91,6 +91,28 @@ class WWaySemanticHashFamily:
             return ()
         return tuple(i for i in chosen if signature[i])
 
+    def gate_entries(
+        self, table: int, signatures: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray | str]:
+        """Batch form of :meth:`gate_suffixes` for a whole corpus.
+
+        ``signatures`` is the ``(n, num_bits)`` semhash matrix (row
+        order = record order). Returns ``(entry_rows, suffixes)`` in the
+        shape :meth:`repro.lsh.index.BandedLSHIndex.add_many` expects:
+
+        * **AND** — ``entry_rows`` are the records with all chosen bits
+          set; ``suffixes`` is the shared ``"all"`` suffix.
+        * **OR** — one entry per (record, set chosen bit), in the same
+          (record-major, ascending bit) order the per-record gate
+          produces; ``suffixes`` are the global bit indices.
+        """
+        chosen = np.asarray(self._chosen[table], dtype=np.int64)
+        sub = signatures[:, chosen] != 0
+        if self.mode == "and":
+            return np.flatnonzero(sub.all(axis=1)), _AND_SUFFIX
+        entry_rows, chosen_positions = np.nonzero(sub)
+        return entry_rows.astype(np.int64), chosen[chosen_positions]
+
     def pair_collides(
         self, table: int, sig1: np.ndarray, sig2: np.ndarray
     ) -> bool:

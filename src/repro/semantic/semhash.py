@@ -42,6 +42,70 @@ def semhash_jaccard(sig1: np.ndarray, sig2: np.ndarray) -> float:
     return intersection / union
 
 
+if hasattr(np, "bitwise_count"):
+    _popcount = np.bitwise_count
+else:  # numpy < 2.0: per-byte lookup table over the packed uint8 arrays.
+    _POPCOUNT_TABLE = np.array(
+        [bin(value).count("1") for value in range(256)], dtype=np.uint8
+    )
+
+    def _popcount(packed: np.ndarray) -> np.ndarray:
+        return _POPCOUNT_TABLE[packed]
+
+
+def pack_signatures(signatures: np.ndarray) -> np.ndarray:
+    """Pack an (n, num_bits) 0/1 matrix into (n, ceil(num_bits / 8)) bytes.
+
+    The packed form is 8× smaller and supports popcount-based Jaccard
+    (:func:`semhash_jaccard_packed`) — the representation used by the
+    batch similarity/analysis paths.
+    """
+    return np.packbits(signatures.astype(np.uint8, copy=False), axis=-1)
+
+
+def unpack_signatures(packed: np.ndarray, num_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_signatures` (trailing pad bits dropped)."""
+    return np.unpackbits(packed, axis=-1)[..., :num_bits]
+
+
+def semhash_jaccard_packed(packed1: np.ndarray, packed2: np.ndarray) -> float:
+    """Jaccard of two :func:`pack_signatures`-packed signatures.
+
+    Uses hardware popcounts over the packed bytes; equal to
+    :func:`semhash_jaccard` on the unpacked signatures (pad bits are
+    zero, so they never contribute).
+    """
+    if packed1.shape != packed2.shape:
+        raise ValueError("signatures must have the same length")
+    ones1 = int(_popcount(packed1).sum())
+    ones2 = int(_popcount(packed2).sum())
+    if ones1 == 0 or ones2 == 0:
+        return 0.0
+    intersection = int(_popcount(packed1 & packed2).sum())
+    union = ones1 + ones2 - intersection
+    return intersection / union
+
+
+def pairwise_jaccard_packed(
+    packed1: np.ndarray, packed2: np.ndarray
+) -> np.ndarray:
+    """Row-wise packed Jaccard for two aligned (m, bytes) stacks.
+
+    Vectorizes the training-pair similarity loops of the analysis path:
+    one popcount pass instead of m Python-level comparisons. All-zero
+    rows yield 0.0, as in :func:`semhash_jaccard`.
+    """
+    if packed1.shape != packed2.shape:
+        raise ValueError("signature stacks must have the same shape")
+    ones1 = _popcount(packed1).sum(axis=-1, dtype=np.int64)
+    ones2 = _popcount(packed2).sum(axis=-1, dtype=np.int64)
+    intersection = _popcount(packed1 & packed2).sum(axis=-1, dtype=np.int64)
+    union = ones1 + ones2 - intersection
+    with np.errstate(invalid="ignore", divide="ignore"):
+        similarity = np.where(union > 0, intersection / np.maximum(union, 1), 0.0)
+    return np.where((ones1 == 0) | (ones2 == 0), 0.0, similarity)
+
+
 class SemhashEncoder:
     """Generate semhash signatures for the records of a dataset.
 
@@ -75,6 +139,10 @@ class SemhashEncoder:
         self.bits: tuple[str, ...] = tuple(sorted(bit_concepts))
         self._bit_index = {c: i for i, c in enumerate(self.bits)}
         self._interpretations = interpretations
+        # concept id -> sorted array of bit indices its leaf set covers.
+        # Memoized so the leaf expansion of each concept is resolved
+        # against the bit set once per corpus, not once per record.
+        self._concept_bits: dict[str, np.ndarray] = {}
 
     @property
     def num_bits(self) -> int:
@@ -87,25 +155,54 @@ class SemhashEncoder:
             return cached
         return self.semantic_function.interpret(record)
 
-    def encode(self, record: Record) -> np.ndarray:
-        """The semhash signature ``G(record)`` as a uint8 array.
+    def _bits_for(self, concept_id: str) -> np.ndarray:
+        """Bit indices covered by one concept's leaf set (memoized).
 
         Unseen leaf concepts (possible for records outside the
-        construction population) are ignored — the signature only spans
-        the chosen bit set C.
+        construction population) are dropped — signatures only span the
+        chosen bit set C.
         """
+        cached = self._concept_bits.get(concept_id)
+        if cached is None:
+            forest = self.semantic_function.forest
+            indices = [
+                self._bit_index[leaf]
+                for leaf in forest.leaf_set(concept_id)
+                if leaf in self._bit_index
+            ]
+            cached = np.array(sorted(indices), dtype=np.int64)
+            self._concept_bits[concept_id] = cached
+        return cached
+
+    def encode(self, record: Record) -> np.ndarray:
+        """The semhash signature ``G(record)`` as a uint8 array."""
         signature = np.zeros(self.num_bits, dtype=np.uint8)
-        forest = self.semantic_function.forest
         for concept_id in self.interpretation(record):
-            for leaf in forest.leaf_set(concept_id):
-                index = self._bit_index.get(leaf)
-                if index is not None:
-                    signature[index] = 1
+            signature[self._bits_for(concept_id)] = 1
         return signature
 
     def signature_matrix(self, records: Iterable[Record]) -> np.ndarray:
-        """Stack of signatures, one row per record."""
-        rows = [self.encode(record) for record in records]
-        if not rows:
-            return np.zeros((0, self.num_bits), dtype=np.uint8)
-        return np.stack(rows)
+        """Stack of signatures, one row per record — the batch encoder.
+
+        Gathers every (record, concept) pair's precomputed bit-index
+        array and sets all bits with a single scatter, instead of
+        per-record per-leaf dictionary lookups.
+        """
+        row_parts: list[np.ndarray] = []
+        col_parts: list[np.ndarray] = []
+        num_rows = 0
+        for row, record in enumerate(records):
+            num_rows += 1
+            for concept_id in self.interpretation(record):
+                bits = self._bits_for(concept_id)
+                if bits.size:
+                    col_parts.append(bits)
+                    row_parts.append(np.full(bits.size, row, dtype=np.int64))
+        matrix = np.zeros((num_rows, self.num_bits), dtype=np.uint8)
+        if col_parts:
+            matrix[np.concatenate(row_parts), np.concatenate(col_parts)] = 1
+        return matrix
+
+    def packed_signature_matrix(self, records: Iterable[Record]) -> np.ndarray:
+        """:meth:`signature_matrix` packed with :func:`pack_signatures`."""
+        return pack_signatures(self.signature_matrix(records))

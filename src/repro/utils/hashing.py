@@ -8,11 +8,21 @@ functions. We use the classic multiply-add family
 with ``p`` the Mersenne prime 2^61 - 1, which is large enough that
 collisions among shingle ids are negligible and small enough that numpy
 ``uint64`` arithmetic stays exact after a modular reduction.
+
+The family supports two evaluation modes:
+
+* :meth:`UniversalHashFamily.min_over` — per-record minima, the legacy
+  one-record-at-a-time path;
+* :meth:`UniversalHashFamily.hash_values` — the full (rows × values)
+  hash matrix over an interned shingle *vocabulary*, evaluated once per
+  corpus by the batch signature engine (see DESIGN.md, "Batch signature
+  engine").
 """
 
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 
 import numpy as np
 
@@ -22,11 +32,14 @@ from repro.utils.rand import rng_from_seed
 MERSENNE_PRIME_61 = (1 << 61) - 1
 
 
+@lru_cache(maxsize=1 << 20)
 def stable_hash(value: str, *, bits: int = 61) -> int:
     """Hash a string to a stable non-negative integer of ``bits`` bits.
 
     Python's builtin ``hash`` is salted per process; benchmarks and tests
-    need identical shingle ids across runs, so we use SHA-1.
+    need identical shingle ids across runs, so we use SHA-1. The result
+    is memoized: q-grams repeat heavily across the records of a corpus,
+    so each distinct gram is digested exactly once per process.
     """
     digest = hashlib.sha1(value.encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big") & ((1 << bits) - 1)
@@ -43,7 +56,10 @@ class UniversalHashFamily:
         Seed for drawing the (a, b) coefficients.
 
     The family evaluates all ``n`` functions on a vector of inputs at
-    once (used to minhash a record's shingle set in one numpy call).
+    once (used to minhash a record's shingle set in one numpy call), or
+    a contiguous subset of functions over a whole vocabulary (used by
+    the corpus-level batch engine, which chunks over functions to bound
+    memory).
     """
 
     def __init__(self, n: int, seed: int) -> None:
@@ -69,24 +85,39 @@ class UniversalHashFamily:
             # Empty shingle sets hash to a sentinel that never collides
             # with a real minimum (the modulus itself is unreachable).
             return np.full(self.n, MERSENNE_PRIME_61, dtype=np.uint64)
-        # (n, 1) * (m,) -> (n, m); Python ints avoid uint64 overflow by
-        # doing the multiply in object space only once per family: we use
-        # the identity (a*x + b) mod p computed with 128-bit via float-free
-        # splitting. Simpler: numpy uint64 wraps mod 2^64 which breaks the
-        # algebra, so do the reduction with Python-int math on a per-call
-        # object array only when n*m is small, otherwise use the split trick.
-        return _modmul_add_min(self._a, self._b, values)
+        return _modmul_add(self._a, self._b, values).min(axis=1)
+
+    def hash_values(
+        self, values: np.ndarray, lo: int = 0, hi: int | None = None
+    ) -> np.ndarray:
+        """The (hi - lo, m) matrix of hash values for functions lo..hi.
+
+        This is the vocabulary-level evaluation of the batch engine:
+        callers hash each distinct shingle once and take per-record
+        minima by gathering columns, instead of re-evaluating the family
+        per record. numpy uint64 wraps mod 2^64, which would break the
+        algebra, so the multiply is done exactly with 30/31-bit splits
+        (see :func:`_modmul_add`).
+        """
+        if hi is None:
+            hi = self.n
+        return _modmul_add(self._a[lo:hi], self._b[lo:hi], values)
 
     def hash_matrix(self, values: np.ndarray) -> np.ndarray:
-        """Return the full (n, m) matrix of hash values (used in tests)."""
+        """The full (n, m) hash matrix via exact Python-int arithmetic.
+
+        Kept as an independent object-dtype reference implementation for
+        tests of the split-multiply trick; use :meth:`hash_values` in
+        production code.
+        """
         a = self._a.astype(object)[:, None]
         b = self._b.astype(object)[:, None]
         v = values.astype(object)[None, :]
         return ((a * v + b) % MERSENNE_PRIME_61).astype(np.uint64)
 
 
-def _modmul_add_min(a: np.ndarray, b: np.ndarray, values: np.ndarray) -> np.ndarray:
-    """Compute ``min((a_i * x + b_i) mod p)`` exactly using 64-bit splits.
+def _modmul_add(a: np.ndarray, b: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Compute the (n, m) matrix ``(a_i * x + b_i) mod p`` exactly.
 
     Splits each 61-bit operand into 30/31-bit halves so every partial
     product fits in a uint64, then reduces modulo p = 2^61 - 1 using the
@@ -117,5 +148,4 @@ def _modmul_add_min(a: np.ndarray, b: np.ndarray, values: np.ndarray) -> np.ndar
     term_mid = (m_hi * np.uint64(2) + ((m_lo << np.uint64(31)) % p)) % p
 
     prod = (term_hh + term_mid + t_ll) % p
-    result = (prod + b_col) % p
-    return result.min(axis=1)
+    return (prod + b_col) % p

@@ -50,12 +50,14 @@ class TestShingler:
         with pytest.raises(ConfigurationError):
             Shingler(("title",), q=0)
 
-    def test_shingle_ids_sorted_stable(self):
+    def test_shingle_ids_stable_multiset(self):
+        """Ids are a deterministic multiset; order is unspecified
+        (minhash minima are order-invariant, so no sort is performed)."""
         shingler = Shingler(("title",), q=2)
         ids1 = shingler.shingle_ids(record("r", "wang qing"))
         ids2 = shingler.shingle_ids(record("s", "wang qing"))
-        assert np.array_equal(ids1, ids2)
-        assert np.all(np.diff(ids1.astype(np.int64)) >= 0)
+        assert np.array_equal(np.sort(ids1), np.sort(ids2))
+        assert ids1.dtype == np.uint64
 
     def test_jaccard_identical_and_disjoint(self):
         shingler = Shingler(("title",), q=2)
