@@ -1,15 +1,27 @@
-"""Perf benchmark — per-record vs batch signature engines.
+"""Perf benchmark — per-record vs batch vs parallel vs streamed engines.
 
 Times LSH and SA-LSH blocking on synthetic NC-Voter at 10k/50k records
-(the paper's §6.1 voter parameters q=2, k=9, l=15) under both engines
-and writes ``BENCH_perf_blocking.json`` at the repo root with
-records/sec and speedups, so future PRs have a perf trajectory to
-compare against. Blocks are asserted identical across engines on every
-run — the benchmark doubles as a large-scale equivalence check.
+(the paper's §6.1 voter parameters q=2, k=9, l=15) under the per-record
+and batch engines, the batch engine with ``workers`` threads, and (for
+LSH) the slab-streamed path with a memory-mapped signature spill. A
+fourth section times the survey baselines that run on the batch
+key-extraction path (TBlo, SorA, SorII, SuA) at the same sizes, so the
+techniques the survey calls "blocking one record at a time" finally
+appear on the same 50k+ axis. Results land in
+``BENCH_perf_blocking.json`` at the repo root so future PRs have a perf
+trajectory to compare against.
 
-Sizes can be overridden (e.g. for CI smoke runs) with
-``REPRO_BENCH_PERF_SIZES=2000,5000``; ``REPRO_BENCH_SCALE=paper`` keeps
-the default 10k/50k ladder.
+Every run doubles as a large-scale equivalence check: blocks are
+asserted identical across per-record/batch/parallel/streamed engines.
+
+Environment knobs (see benchmarks/README.md):
+
+* ``REPRO_BENCH_PERF_SIZES=2000,5000`` — override the 10k/50k ladder
+  (CI smoke uses one small size);
+* ``REPRO_BENCH_WORKERS=4`` — thread count of the parallel run
+  (default 4; the recorded ``cpu_count`` tells you whether the host
+  could actually exploit it);
+* ``REPRO_BENCH_SCALE=paper`` keeps the default ladder.
 """
 
 from __future__ import annotations
@@ -18,11 +30,19 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
+from repro.baselines import (
+    ArraySortedNeighbourhood,
+    InvertedIndexSortedNeighbourhood,
+    StandardBlocker,
+    SuffixArrayBlocker,
+)
 from repro.datasets import NCVoterLikeGenerator
 from repro.evaluation import format_table
+from repro.minhash import open_signature_memmap
 
 from _shared import (
     SEED,
@@ -33,6 +53,9 @@ from _shared import (
 )
 
 DEFAULT_SIZES = (10_000, 50_000)
+DEFAULT_WORKERS = 4
+#: Streamed runs cut the corpus into this many record slabs.
+STREAM_SLABS = 8
 RESULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_perf_blocking.json"
 
 
@@ -43,43 +66,112 @@ def sizes() -> tuple[int, ...]:
     return DEFAULT_SIZES
 
 
-def _timed_block(make_blocker, dataset, *, repeats: int):
+def bench_workers() -> int:
+    return int(os.environ.get("REPRO_BENCH_WORKERS", str(DEFAULT_WORKERS)))
+
+
+def _timed(run, *, repeats: int):
     """Best-of-``repeats`` wall time (standard throughput practice)."""
     best = None
     result = None
     for _ in range(repeats):
-        blocker = make_blocker()
         start = time.perf_counter()
-        result = blocker.block(dataset)
+        result = run()
         elapsed = time.perf_counter() - start
         best = elapsed if best is None else min(best, elapsed)
     return result, best
 
 
-def _run_engine_pair(make_blocker, dataset, warmup_dataset) -> dict:
+def _run_engine_pair(make_blocker, dataset, warmup_dataset, *, stream: bool) -> dict:
     # One small warmup per engine: fills the process-wide SHA-1 memo
     # and numpy's lazily-initialised kernels so both engines are timed
     # at steady-state throughput.
     make_blocker(batch=False).block(warmup_dataset)
     make_blocker(batch=True).block(warmup_dataset)
-    legacy_result, legacy_seconds = _timed_block(
-        lambda: make_blocker(batch=False), dataset, repeats=2
+    legacy_result, legacy_seconds = _timed(
+        lambda: make_blocker(batch=False).block(dataset), repeats=2
     )
-    batch_result, batch_seconds = _timed_block(
-        lambda: make_blocker(batch=True), dataset, repeats=3
+    batch_result, batch_seconds = _timed(
+        lambda: make_blocker(batch=True).block(dataset), repeats=3
     )
     assert batch_result.blocks == legacy_result.blocks, (
         "batch and per-record engines disagree — equivalence broken"
     )
+
+    workers = bench_workers()
+    parallel_result, parallel_seconds = _timed(
+        lambda: make_blocker(batch=True, workers=workers).block(dataset),
+        repeats=3,
+    )
+    assert parallel_result.blocks == batch_result.blocks, (
+        "parallel and serial batch engines disagree — equivalence broken"
+    )
+
     n = len(dataset)
-    return {
+    stats = {
         "num_blocks": batch_result.num_blocks,
         "per_record_seconds": round(legacy_seconds, 4),
         "batch_seconds": round(batch_seconds, 4),
         "per_record_records_per_sec": round(n / legacy_seconds, 1),
         "batch_records_per_sec": round(n / batch_seconds, 1),
         "speedup": round(legacy_seconds / batch_seconds, 2),
+        "workers": workers,
+        "workers_seconds": round(parallel_seconds, 4),
+        "workers_records_per_sec": round(n / parallel_seconds, 1),
+        "parallel_speedup": round(batch_seconds / parallel_seconds, 2),
     }
+
+    if stream:
+        records = list(dataset)
+        slab = max(1, len(records) // STREAM_SLABS)
+        slabs = [records[i : i + slab] for i in range(0, len(records), slab)]
+        blocker = make_blocker(batch=True, workers=workers)
+        with tempfile.TemporaryDirectory() as spill_dir:
+            spill = Path(spill_dir) / "signatures.npy"
+
+            def run_streamed():
+                signatures = open_signature_memmap(
+                    spill, len(records), blocker.hasher.num_hashes
+                )
+                return blocker.block_stream(slabs, signatures_out=signatures)
+
+            streamed_result, streamed_seconds = _timed(run_streamed, repeats=2)
+        assert streamed_result.blocks == batch_result.blocks, (
+            "streamed and in-memory blocking disagree — equivalence broken"
+        )
+        stats.update(
+            {
+                "streamed_seconds": round(streamed_seconds, 4),
+                "streamed_records_per_sec": round(n / streamed_seconds, 1),
+                "stream_slabs": len(slabs),
+            }
+        )
+    return stats
+
+
+#: Survey baselines on the batch key-extraction path, near-linear cost —
+#: safe to time at 50k+. QGr/canopy/StringMap also run on the batch key
+#: path but their per-key expansion is super-linear, so the 50k ladder
+#: would time the algorithm, not the engine (see benchmarks/README.md).
+BASELINES = {
+    "TBlo": lambda: StandardBlocker(VOTER_ATTRS),
+    "SorA": lambda: ArraySortedNeighbourhood(VOTER_ATTRS, window=3),
+    "SorII": lambda: InvertedIndexSortedNeighbourhood(VOTER_ATTRS, window=3),
+    "SuA": lambda: SuffixArrayBlocker(VOTER_ATTRS),
+}
+
+
+def _run_baselines(dataset) -> dict:
+    n = len(dataset)
+    stats = {}
+    for name, make in BASELINES.items():
+        result, seconds = _timed(lambda: make().block(dataset), repeats=2)
+        stats[name] = {
+            "num_blocks": result.num_blocks,
+            "seconds": round(seconds, 4),
+            "records_per_sec": round(n / seconds, 1),
+        }
+    return stats
 
 
 def run_perf() -> dict:
@@ -89,6 +181,7 @@ def run_perf() -> dict:
         "attributes": list(VOTER_ATTRS),
         "parameters": {"q": 2, "k": 9, "l": 15, "seed": SEED},
         "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
         "sizes": {},
     }
     warmup = NCVoterLikeGenerator(num_records=200, seed=SEED + 1).generate()
@@ -96,11 +189,12 @@ def run_perf() -> dict:
         dataset = NCVoterLikeGenerator(num_records=n, seed=SEED).generate()
         report["sizes"][str(n)] = {
             "lsh": _run_engine_pair(
-                lambda **kw: voter_lsh(**kw), dataset, warmup
+                lambda **kw: voter_lsh(**kw), dataset, warmup, stream=True
             ),
             "salsh": _run_engine_pair(
-                lambda **kw: voter_salsh(**kw), dataset, warmup
+                lambda **kw: voter_salsh(**kw), dataset, warmup, stream=False
             ),
+            "baselines": _run_baselines(dataset),
         }
     return report
 
@@ -116,17 +210,34 @@ def _persist(report: dict) -> None:
                 technique.upper(),
                 stats["per_record_seconds"],
                 stats["batch_seconds"],
-                stats["per_record_records_per_sec"],
+                stats["workers_seconds"],
+                stats.get("streamed_seconds", "-"),
                 stats["batch_records_per_sec"],
                 stats["speedup"],
+                stats["parallel_speedup"],
             ])
     write_result(
         "perf_blocking",
         format_table(
             ["records", "blocker", "t(loop)s", "t(batch)s",
-             "rec/s(loop)", "rec/s(batch)", "speedup"],
+             f"t(w={bench_workers()})s", "t(stream)s",
+             "rec/s(batch)", "speedup", "par.speedup"],
             rows,
-            title="Perf — per-record vs batch signature engine (q=2, k=9, l=15)",
+            title="Perf — per-record vs batch vs parallel vs streamed "
+                  "(q=2, k=9, l=15)",
+        ),
+    )
+    baseline_rows = [
+        [n, name, stats["seconds"], stats["records_per_sec"], stats["num_blocks"]]
+        for n, entry in report["sizes"].items()
+        for name, stats in entry["baselines"].items()
+    ]
+    write_result(
+        "perf_baselines",
+        format_table(
+            ["records", "technique", "t(s)", "rec/s", "blocks"],
+            baseline_rows,
+            title="Perf — survey baselines on the batch key path",
         ),
     )
     print(f"[written to {RESULT_JSON.name}]")
@@ -141,6 +252,9 @@ def test_perf_blocking(benchmark):
             # claim is asserted on the committed 10k/50k run, while CI
             # smoke sizes only check a real win to stay timing-robust.
             assert entry[technique]["speedup"] > 1.0
+            # Parallel/streamed equivalence is asserted inside the run;
+            # parallel *speedup* is only meaningful with spare cores, so
+            # it is recorded (with cpu_count) rather than asserted here.
 
 
 def main() -> int:

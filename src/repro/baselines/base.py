@@ -1,4 +1,14 @@
-"""Shared machinery for the baseline blockers: blocking keys."""
+"""Shared machinery for the baseline blockers: blocking keys.
+
+Key extraction runs on a batch path analogous to the LSH engine's
+corpus shingling: :meth:`KeyedBlocker.keys_of` derives every record's
+blocking key value in one memoized pass (normalisation per distinct
+attribute value, key assembly per distinct value *tuple* — both repeat
+heavily in deduplication corpora), and every helper and baseline
+builds on that list instead of re-normalising record by record. The
+keys are pure functions of the attribute values, so the batch path is
+output-identical to calling :meth:`KeyedBlocker.key` per record.
+"""
 
 from __future__ import annotations
 
@@ -26,9 +36,36 @@ class KeyedBlocker(Blocker):
         self.attributes = tuple(attributes)
 
     def key(self, record: Record) -> str:
-        """The record's blocking key value."""
+        """The record's blocking key value (per-record reference form)."""
         parts = [normalize(record.get(a)) for a in self.attributes]
         return " ".join(p for p in parts if p)
+
+    def keys_of(self, dataset: Dataset) -> list[str]:
+        """Every record's blocking key, one memoized pass (batch path).
+
+        Normalisation is computed once per distinct attribute value and
+        keys once per distinct value tuple; element ``i`` equals
+        ``self.key(record_i)`` exactly.
+        """
+        normalized: dict[str, str] = {}
+        by_values: dict[tuple[str, ...], str] = {}
+        keys: list[str] = []
+        for record in dataset:
+            values = tuple(record.get(a) for a in self.attributes)
+            key = by_values.get(values)
+            if key is None:
+                parts = []
+                for value in values:
+                    part = normalized.get(value)
+                    if part is None:
+                        part = normalize(value)
+                        normalized[value] = part
+                    if part:
+                        parts.append(part)
+                key = " ".join(parts)
+                by_values[values] = key
+            keys.append(key)
+        return keys
 
     @abstractmethod
     def _groups(self, dataset: Dataset) -> list[list[str]]:
@@ -47,11 +84,11 @@ class KeyedBlocker(Blocker):
 
     def sorted_keyed_records(self, dataset: Dataset) -> list[tuple[str, str]]:
         """(key, record_id) pairs sorted by key, then id (determinism)."""
-        return sorted((self.key(r), r.record_id) for r in dataset)
+        return sorted(zip(self.keys_of(dataset), dataset.record_ids))
 
     def key_index(self, dataset: Dataset) -> dict[str, list[str]]:
         """Inverted index: key value -> record ids (insertion order)."""
         index: dict[str, list[str]] = {}
-        for record in dataset:
-            index.setdefault(self.key(record), []).append(record.record_id)
+        for record_id, key in zip(dataset.record_ids, self.keys_of(dataset)):
+            index.setdefault(key, []).append(record_id)
         return index

@@ -51,10 +51,20 @@ class _CanopyBase(KeyedBlocker):
         self.seed = seed
 
     def _prepare(self, dataset: Dataset):
-        """Tokenise keys, build the inverted index and similarity fn."""
+        """Tokenise keys, build the inverted index and similarity fn.
+
+        Runs on the batch key path: keys come from one memoized
+        :meth:`~repro.baselines.base.KeyedBlocker.keys_of` pass and the
+        q-gram tokenisation is computed once per distinct key.
+        """
         tokens_of: dict[str, tuple[str, ...]] = {}
-        for record in dataset:
-            tokens_of[record.record_id] = tuple(qgrams(self.key(record), self.q))
+        grams_of: dict[str, tuple[str, ...]] = {}
+        for record_id, key in zip(dataset.record_ids, self.keys_of(dataset)):
+            grams = grams_of.get(key)
+            if grams is None:
+                grams = tuple(qgrams(key, self.q))
+                grams_of[key] = grams
+            tokens_of[record_id] = grams
 
         index: dict[str, set[str]] = defaultdict(set)
         for record_id, tokens in tokens_of.items():

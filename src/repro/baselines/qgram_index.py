@@ -63,11 +63,20 @@ class QGramBlocker(KeyedBlocker):
         return {r for r in results if len(r) >= min_len}
 
     def _groups(self, dataset: Dataset) -> list[list[str]]:
+        # Batch key path: keys in one memoized pass, and the
+        # combinatorial sub-list expansion computed once per distinct
+        # gram list — records sharing a key (ubiquitous in dedup
+        # corpora) pay for the deletion frontier once.
         buckets: dict[tuple[str, ...], list[str]] = {}
-        for record in dataset:
-            grams = tuple(qgrams(self.key(record), self.q))[: self.max_grams]
+        sublists_of: dict[tuple[str, ...], set[tuple[str, ...]]] = {}
+        for record_id, key in zip(dataset.record_ids, self.keys_of(dataset)):
+            grams = tuple(qgrams(key, self.q))[: self.max_grams]
             if not grams:
                 continue
-            for sublist in self._sublists(grams):
-                buckets.setdefault(sublist, []).append(record.record_id)
+            sublists = sublists_of.get(grams)
+            if sublists is None:
+                sublists = self._sublists(grams)
+                sublists_of[grams] = sublists
+            for sublist in sublists:
+                buckets.setdefault(sublist, []).append(record_id)
         return list(buckets.values())

@@ -5,6 +5,12 @@
 * SorII (Christen): slide the window over the *distinct sorted key
   values* of an inverted index, so frequent keys do not crowd the
   window.
+
+Both run on the batch key-extraction path
+(:meth:`~repro.baselines.base.KeyedBlocker.keys_of` via the shared
+``sorted_keyed_records`` / ``key_index`` helpers): keys are derived in
+one memoized pass, then sorted/windowed — identical blocks to the
+per-record path at a fraction of the normalisation cost.
 """
 
 from __future__ import annotations

@@ -12,7 +12,13 @@ from repro.records.dataset import Dataset
 
 
 class StandardBlocker(KeyedBlocker):
-    """Group records by identical blocking key value."""
+    """Group records by identical blocking key value.
+
+    Runs on the batch key-extraction path
+    (:meth:`~repro.baselines.base.KeyedBlocker.keys_of` via
+    ``key_index``): one memoized pass over the corpus instead of
+    per-record normalisation, identical blocks.
+    """
 
     name = "TBlo"
 

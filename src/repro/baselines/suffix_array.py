@@ -50,10 +50,17 @@ class SuffixArrayBlocker(KeyedBlocker):
         } if len(compact) >= self.min_length else ({compact} if compact else set())
 
     def _suffix_index(self, dataset: Dataset) -> dict[str, list[str]]:
+        # Batch key path: keys in one memoized pass, suffix/substring
+        # expansion computed once per distinct key.
         index: dict[str, list[str]] = {}
-        for record in dataset:
-            for variant in self._variants(self.key(record)):
-                index.setdefault(variant, []).append(record.record_id)
+        variants_of: dict[str, set[str]] = {}
+        for record_id, key in zip(dataset.record_ids, self.keys_of(dataset)):
+            variants = variants_of.get(key)
+            if variants is None:
+                variants = self._variants(key)
+                variants_of[key] = variants
+            for variant in variants:
+                index.setdefault(variant, []).append(record_id)
         return index
 
     def _groups(self, dataset: Dataset) -> list[list[str]]:

@@ -58,21 +58,28 @@ def _make_blocker(args) -> object:
     if not attributes:
         raise ReproError("--attributes must name at least one attribute")
     technique = args.technique.lower()
+    workers = args.workers if args.workers else None
     if technique == "lsh":
-        return LSHBlocker(attributes, q=args.q, k=args.k, l=args.l, seed=args.seed)
+        return LSHBlocker(
+            attributes, q=args.q, k=args.k, l=args.l, seed=args.seed,
+            workers=workers,
+        )
     if technique == "salsh":
         return SALSHBlocker(
             attributes, q=args.q, k=args.k, l=args.l, seed=args.seed,
             semantic_function=_semantic_function(args.domain),
             w=args.w if args.w else "all", mode=args.mode,
+            workers=workers,
         )
     if technique == "mplsh":
         return MultiProbeLSHBlocker(
-            attributes, q=args.q, k=args.k, l=args.l, seed=args.seed
+            attributes, q=args.q, k=args.k, l=args.l, seed=args.seed,
+            workers=workers,
         )
     if technique == "forest":
         return LSHForestBlocker(
-            attributes, q=args.q, k=args.k, l=args.l, seed=args.seed
+            attributes, q=args.q, k=args.k, l=args.l, seed=args.seed,
+            workers=workers,
         )
     for name in TECHNIQUE_ORDER:
         if technique == name.lower():
@@ -168,6 +175,9 @@ def build_parser() -> argparse.ArgumentParser:
     block.add_argument("--w", type=int, default=0,
                        help="w-way size for salsh (0 = all bits)")
     block.add_argument("--mode", choices=("and", "or"), default="or")
+    block.add_argument("--workers", type=int, default=1,
+                       help="threads for the batch signature engine "
+                            "(0 = all CPUs); identical blocks either way")
     block.add_argument("--seed", type=int, default=0)
     block.add_argument("--out", required=True)
     block.set_defaults(func=cmd_block)

@@ -8,23 +8,35 @@ Two engines produce identical blocks:
 
 * ``batch`` (default) — the corpus-level vectorized path: one
   shingling pass with an interned vocabulary, one chunked
-  ``reduceat`` minhash over the CSR layout, byte-view band keys and
-  bulk bucket grouping (see DESIGN.md, "Batch signature engine");
+  ``reduceat`` minhash over the CSR layout (optionally spread over
+  ``workers`` threads), byte-view band keys and bulk bucket grouping
+  (see DESIGN.md, "Batch signature engine");
 * ``per-record`` — the legacy record-at-a-time loop, kept as the
   equivalence/benchmark reference.
+
+A third entry point, :meth:`LSHBlocker.block_stream`, runs the batch
+engine over record *slabs*: the shingle vocabulary grows incrementally,
+signatures can spill to a memory-mapped ``.npy`` file, and buckets
+merge across slabs — blocks are byte-identical to :meth:`block` on the
+concatenated records (see DESIGN.md, "Parallel & streaming runtime").
 """
 
 from __future__ import annotations
 
 import time
+from typing import Iterable
+
+import numpy as np
 
 from repro.core.base import Blocker, BlockingResult, make_blocks
 from repro.errors import ConfigurationError
 from repro.lsh.bands import split_bands, split_bands_matrix
 from repro.lsh.index import BandedLSHIndex
+from repro.minhash.corpus import ShingleVocabulary
 from repro.minhash.minhash import MinHasher
 from repro.minhash.shingling import Shingler
 from repro.records.dataset import Dataset
+from repro.records.record import Record
 
 
 class LSHBlocker(Blocker):
@@ -48,6 +60,9 @@ class LSHBlocker(Blocker):
         Use the corpus-level vectorized engine (default). The
         per-record engine produces identical blocks and exists for
         equivalence tests and the perf benchmark.
+    workers:
+        Threads evaluating signature chunks concurrently (``None`` =
+        all CPUs). Any worker count produces byte-identical blocks.
     """
 
     def __init__(
@@ -60,6 +75,7 @@ class LSHBlocker(Blocker):
         seed: int = 0,
         padded: bool = False,
         batch: bool = True,
+        workers: int | None = 1,
         name: str | None = None,
     ) -> None:
         if k < 1 or l < 1:
@@ -70,6 +86,7 @@ class LSHBlocker(Blocker):
         self.l = l
         self.seed = seed
         self.batch = batch
+        self.workers = workers
         self.shingler = Shingler(self.attributes, q=q, padded=padded)
         self.hasher = MinHasher(num_hashes=k * l, seed=seed)
         self.name = name or "LSH"
@@ -80,7 +97,9 @@ class LSHBlocker(Blocker):
     def _fill_index(self, dataset: Dataset, index: BandedLSHIndex) -> None:
         if self.batch:
             corpus = self.shingler.shingle_corpus(dataset)
-            signatures = self.hasher.signature_matrix(corpus)
+            signatures = self.hasher.signature_matrix(
+                corpus, workers=self.workers
+            )
             keys = split_bands_matrix(signatures, self.k, self.l)
             index.add_many(corpus.record_ids, keys)
         else:
@@ -104,6 +123,91 @@ class LSHBlocker(Blocker):
                 "k": self.k,
                 "l": self.l,
                 "q": self.q,
+                "workers": self.workers,
                 "engine": "batch" if self.batch else "per-record",
+            },
+        )
+
+    def block_stream(
+        self,
+        slabs: Iterable[Iterable[Record]],
+        *,
+        signatures_out: np.ndarray | None = None,
+        vocabulary: ShingleVocabulary | None = None,
+    ) -> BlockingResult:
+        """Block a corpus streamed as record slabs.
+
+        Each slab is shingled against one growing
+        :class:`~repro.minhash.corpus.ShingleVocabulary`, minhashed on
+        the batch engine (with this blocker's ``workers``), banded, and
+        bulk-inserted; buckets merge across slabs, so the blocks are
+        byte-identical to :meth:`block` over the concatenated records.
+
+        Memory: the index keeps each slab's band keys, which are
+        *views* of the slab's signature rows. With ``signatures_out``
+        pointing at a memory map, those views are file-backed (the OS
+        pages them in and out at will), so resident memory is one
+        slab's transient working set plus the final grouped index —
+        that is the larger-than-RAM configuration. Without
+        ``signatures_out``, the key views pin every slab's signature
+        rows in RAM, so streaming only bounds the *transient* engine
+        memory, not the signature matrix itself.
+
+        Parameters
+        ----------
+        slabs:
+            Iterable of record chunks, e.g. batches parsed from a file
+            too large to load. Record ids must be unique across slabs.
+        signatures_out:
+            Optional preallocated uint64 buffer with exactly ``k * l``
+            columns and at least ``total_records`` rows — typically a
+            memory-mapped ``.npy`` from
+            :func:`~repro.minhash.signature.open_signature_memmap` —
+            filled with consecutive row slabs, so the full signature
+            matrix lands on disk instead of RAM.
+        vocabulary:
+            Optional vocabulary to extend (continue an earlier stream);
+            a fresh one is used by default.
+        """
+        start = time.perf_counter()
+        vocab = ShingleVocabulary() if vocabulary is None else vocabulary
+        index = BandedLSHIndex(self.l)
+        cursor = 0
+        num_slabs = 0
+        for slab in slabs:
+            corpus = self.shingler.shingle_corpus(slab, vocabulary=vocab)
+            n = corpus.num_records
+            out = None
+            if signatures_out is not None:
+                if cursor + n > signatures_out.shape[0]:
+                    raise ConfigurationError(
+                        f"signatures_out holds {signatures_out.shape[0]} rows; "
+                        f"streamed records exceed it at {cursor + n}"
+                    )
+                out = signatures_out[cursor : cursor + n]
+            signatures = self.hasher.signature_matrix(
+                corpus, workers=self.workers, out=out
+            )
+            index.add_many(
+                corpus.record_ids,
+                split_bands_matrix(signatures, self.k, self.l),
+            )
+            cursor += n
+            num_slabs += 1
+        blocks = make_blocks(index.blocks())
+        elapsed = time.perf_counter() - start
+        return BlockingResult(
+            blocker_name=self.name,
+            blocks=blocks,
+            seconds=elapsed,
+            metadata={
+                "k": self.k,
+                "l": self.l,
+                "q": self.q,
+                "workers": self.workers,
+                "engine": "streaming",
+                "num_slabs": num_slabs,
+                "num_records": cursor,
+                "spilled": signatures_out is not None,
             },
         )

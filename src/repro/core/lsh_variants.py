@@ -26,10 +26,11 @@ from repro.errors import ConfigurationError
 from repro.lsh.bands import split_bands_matrix
 from repro.lsh.index import grouped_indices
 from repro.minhash.corpus import ShingledCorpus
-from repro.minhash.minhash import MinHasher, sentinel_stream
+from repro.minhash.minhash import MinHasher, compact_vocabulary, sentinel_stream
 from repro.minhash.shingling import Shingler
 from repro.records.dataset import Dataset
 from repro.utils.hashing import MERSENNE_PRIME_61, UniversalHashFamily
+from repro.utils.parallel import chunk_spans, run_chunked
 
 
 class _MinHasherWithRunnerUp(MinHasher):
@@ -56,7 +57,11 @@ class _MinHasherWithRunnerUp(MinHasher):
         return ordered[:, 0], ordered[:, 1]
 
     def signature_matrix_with_runner_up(
-        self, corpus: ShingledCorpus, *, chunk_elements: int = 2_000_000
+        self,
+        corpus: ShingledCorpus,
+        *,
+        chunk_elements: int = 2_000_000,
+        workers: int | None = 1,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Batch minima and runner-ups for a whole corpus.
 
@@ -65,7 +70,9 @@ class _MinHasherWithRunnerUp(MinHasher):
         recovers each segment's runner-up by masking the *first*
         occurrence of the minimum with the sentinel and reducing again —
         duplicated minima therefore survive as their own runner-up,
-        byte-identical to the per-record sort.
+        byte-identical to the per-record sort. Like the plain signature
+        matrix, hash-function chunks are independent and may be
+        evaluated by ``workers`` threads without changing the result.
         """
         n = corpus.num_records
         sentinel = np.uint64(MERSENNE_PRIME_61)
@@ -81,13 +88,13 @@ class _MinHasherWithRunnerUp(MinHasher):
         counts = corpus.counts
         single_rows = counts == 1
         tokens_ext, starts, empty_rows = sentinel_stream(corpus)
+        vocab_hashes, tokens_ext = compact_vocabulary(corpus, tokens_ext)
         stream = tokens_ext.shape[0]
         segment_lengths = np.diff(np.append(starts, stream))
         columns = np.arange(stream, dtype=np.int64)[None, :]
 
-        for lo, hi, gathered in self.gathered_chunks(
-            corpus, tokens_ext, chunk_elements
-        ):
+        def compute(lo: int, hi: int) -> None:
+            gathered = self.gathered_span(vocab_hashes, tokens_ext, lo, hi)
             min1 = np.minimum.reduceat(gathered, starts, axis=1)
             # Position of the first occurrence of each segment's minimum.
             expanded = np.repeat(min1, segment_lengths, axis=1)
@@ -105,6 +112,14 @@ class _MinHasherWithRunnerUp(MinHasher):
             min2[:, single_rows] = min1[:, single_rows]
             minima[:, lo:hi] = min1.T
             runners[:, lo:hi] = min2.T
+
+        run_chunked(
+            compute,
+            chunk_spans(
+                self.num_hashes, self.rows_per_chunk(stream, chunk_elements)
+            ),
+            workers,
+        )
         return minima, runners
 
 
@@ -128,6 +143,7 @@ class MultiProbeLSHBlocker(Blocker):
         num_probes: int | None = None,
         seed: int = 0,
         batch: bool = True,
+        workers: int | None = 1,
         name: str | None = None,
     ) -> None:
         if k < 1 or l < 1:
@@ -143,6 +159,7 @@ class MultiProbeLSHBlocker(Blocker):
             )
         self.seed = seed
         self.batch = batch
+        self.workers = workers
         self.shingler = Shingler(self.attributes, q=q)
         self.hasher = _MinHasherWithRunnerUp(num_hashes=k * l, seed=seed)
         self.name = name or "MP-LSH"
@@ -155,7 +172,9 @@ class MultiProbeLSHBlocker(Blocker):
 
     def _block_batch(self, dataset: Dataset) -> list[list[str]]:
         corpus = self.shingler.shingle_corpus(dataset)
-        minima, runners = self.hasher.signature_matrix_with_runner_up(corpus)
+        minima, runners = self.hasher.signature_matrix_with_runner_up(
+            corpus, workers=self.workers
+        )
         n = corpus.num_records
         ids = np.asarray(corpus.record_ids, dtype=object)
         exact_keys = split_bands_matrix(minima, self.k, self.l)
@@ -272,6 +291,7 @@ class LSHForestBlocker(Blocker):
         max_block_size: int = 50,
         seed: int = 0,
         batch: bool = True,
+        workers: int | None = 1,
         name: str | None = None,
     ) -> None:
         if k < 1 or l < 1:
@@ -287,6 +307,7 @@ class LSHForestBlocker(Blocker):
         self.max_block_size = max_block_size
         self.seed = seed
         self.batch = batch
+        self.workers = workers
         self.shingler = Shingler(self.attributes, q=q)
         self.hasher = MinHasher(num_hashes=k * l, seed=seed)
         self.name = name or "LSH-Forest"
@@ -320,7 +341,9 @@ class LSHForestBlocker(Blocker):
     def _signatures(self, dataset: Dataset) -> tuple[tuple[str, ...], np.ndarray]:
         if self.batch:
             corpus = self.shingler.shingle_corpus(dataset)
-            return corpus.record_ids, self.hasher.signature_matrix(corpus)
+            return corpus.record_ids, self.hasher.signature_matrix(
+                corpus, workers=self.workers
+            )
         ids = []
         rows = np.empty((len(dataset), self.hasher.num_hashes), dtype=np.uint64)
         for i, record in enumerate(dataset):

@@ -37,6 +37,8 @@ class PipelineConfig:
 
     ``epsilon``, ``ph``, ``pl`` and ``sl_gap`` drive §5.3 tuning; gate
     selection is automatic unless ``w``/``mode`` are pinned.
+    ``workers`` is passed to the blocker's batch signature engine
+    (threads over hash-function chunks; ``None`` = all CPUs).
     """
 
     attributes: tuple[str, ...]
@@ -49,6 +51,7 @@ class PipelineConfig:
     seed: int = 0
     w: int | str | None = None
     mode: str | None = None
+    workers: int | None = 1
 
 
 @dataclass(frozen=True)
@@ -106,6 +109,7 @@ def run_pipeline(
         blocker = LSHBlocker(
             config.attributes, q=config.q,
             k=parameters.k, l=parameters.l, seed=config.seed,
+            workers=config.workers,
         )
     else:
         quality = analyse_semantic_features(training, semantic_function)
@@ -120,6 +124,7 @@ def run_pipeline(
             config.attributes, q=config.q,
             k=parameters.k, l=parameters.l, seed=config.seed,
             semantic_function=semantic_function, w=w, mode=mode,
+            workers=config.workers,
         )
 
     outcome = run_blocking(blocker, dataset)

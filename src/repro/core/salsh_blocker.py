@@ -43,6 +43,9 @@ class SALSHBlocker(Blocker):
         Use the corpus-level vectorized engine (default); the
         per-record engine produces identical blocks and exists for
         equivalence tests and the perf benchmark.
+    workers:
+        Threads evaluating minhash signature chunks concurrently
+        (``None`` = all CPUs); byte-identical blocks for any count.
     """
 
     def __init__(
@@ -58,6 +61,7 @@ class SALSHBlocker(Blocker):
         seed: int = 0,
         padded: bool = False,
         batch: bool = True,
+        workers: int | None = 1,
         name: str | None = None,
     ) -> None:
         if k < 1 or l < 1:
@@ -72,6 +76,7 @@ class SALSHBlocker(Blocker):
         self.mode = mode
         self.seed = seed
         self.batch = batch
+        self.workers = workers
         self.semantic_function = semantic_function
         self.shingler = Shingler(self.attributes, q=q, padded=padded)
         self.hasher = MinHasher(num_hashes=k * l, seed=seed)
@@ -110,7 +115,9 @@ class SALSHBlocker(Blocker):
         index = BandedLSHIndex(self.l)
         if self.batch:
             corpus = self.shingler.shingle_corpus(dataset)
-            signature_matrix = self.hasher.signature_matrix(corpus)
+            signature_matrix = self.hasher.signature_matrix(
+                corpus, workers=self.workers
+            )
             keys = split_bands_matrix(signature_matrix, self.k, self.l)
             entries = [
                 gates.gate_entries(table, semhash_matrix)
@@ -145,6 +152,7 @@ class SALSHBlocker(Blocker):
                 "mode": self.mode,
                 "num_semantic_bits": encoder.num_bits,
                 "sf_seconds": sf_seconds,
+                "workers": self.workers,
                 "engine": "batch" if self.batch else "per-record",
             },
         )

@@ -11,18 +11,22 @@ Two insertion styles fill the same index:
 
 * :meth:`BandedLSHIndex.add` — one record at a time into per-table
   dicts of buckets (the legacy path);
-* :meth:`BandedLSHIndex.add_many` — a whole corpus at once: buckets
-  are derived per table by one vectorized sort-and-segment pass and
-  stored as grouped arrays, never touching a Python dict (see
-  DESIGN.md, "Batch signature engine"). Both styles emit buckets in
-  first-occurrence order with members in insertion order, so
-  :meth:`BandedLSHIndex.blocks` is byte-identical across them.
+* :meth:`BandedLSHIndex.add_many` — one *slab* (a whole corpus, or a
+  streamed chunk of one) at a time: slabs are appended cheaply and the
+  buckets of every table are derived lazily, by one vectorized
+  sort-and-segment pass over all slabs together, never touching a
+  Python dict (see DESIGN.md, "Batch signature engine" and "Parallel &
+  streaming runtime"). Buckets *merge across ``add_many`` calls* —
+  records from different slabs sharing a (band key, gate suffix) land
+  in one bucket, exactly as if the concatenated corpus had been
+  inserted in a single call — which is what lets corpora larger than
+  RAM stream through blocking slab by slab. Both insertion styles emit
+  buckets in first-occurrence order with members in insertion order,
+  so :meth:`BandedLSHIndex.blocks` is byte-identical across them.
 
-  Buckets never merge across insertion calls: each ``add_many`` call
-  groups only the records it was given, and its buckets stay separate
-  from dict buckets and from other ``add_many`` calls even under equal
-  band keys. Insert one corpus with one call; streaming slab-wise
-  insertion that merges across calls is future work (see ROADMAP.md).
+  The one seam that does not merge: dict buckets from :meth:`add` stay
+  separate from bulk buckets (the legacy path exists for equivalence
+  tests; production code uses one style per index).
 """
 
 from __future__ import annotations
@@ -40,6 +44,27 @@ GateFn = Callable[[int, str], Sequence[Hashable]]
 
 def _no_gate(_table: int, _record_id: str) -> Sequence[Hashable]:
     return (0,)
+
+
+#: Marker object coding "no gate" entries when gated and ungated slabs
+#: meet in one table (they must not share buckets with any real suffix).
+_NO_GATE = object()
+
+
+def _scalar_code(codes: dict[Hashable, int], suffix: Hashable) -> int:
+    """Negative integer code of a shared (AND-style) gate suffix.
+
+    Negative codes can never collide with OR-gate suffixes, which are
+    non-negative semhash bit indices; distinct scalar suffixes get
+    distinct codes, and equal suffixes from different slabs get the
+    same code — so cross-slab bucket merging matches the per-record
+    dict keyed by (band key, suffix).
+    """
+    code = codes.get(suffix)
+    if code is None:
+        code = -1 - len(codes)
+        codes[suffix] = code
+    return code
 
 
 #: Batch gate entries for one table: ``(entry_rows, suffixes)`` where
@@ -84,8 +109,31 @@ def grouped_indices(labels: np.ndarray) -> list[np.ndarray]:
     ]
 
 
+class _PendingSlab:
+    """One ``add_many`` call, kept raw until the index is finalised.
+
+    Grouping is deferred so that buckets can merge across slabs: the
+    index concatenates every slab's keys (and gate entries) per table
+    and groups them in one pass, which is both cheaper than re-grouping
+    on every call and required for streamed corpora to produce the same
+    blocks as a single bulk insertion.
+    """
+
+    __slots__ = ("ids", "key_matrix", "gate_entries")
+
+    def __init__(
+        self,
+        ids: np.ndarray,
+        key_matrix: np.ndarray,
+        gate_entries: "Sequence[GateEntries | None] | None",
+    ) -> None:
+        self.ids = ids
+        self.key_matrix = key_matrix
+        self.gate_entries = gate_entries
+
+
 class _BulkBuckets:
-    """Grouped buckets of one ``add_many`` call for one table.
+    """Grouped buckets of the merged bulk insertions for one table.
 
     ``members`` holds record ids permuted into group order; bucket ``g``
     is ``members[starts[g]:ends[g]]`` and ``emit_order`` lists buckets
@@ -127,7 +175,11 @@ class BandedLSHIndex:
         self._tables: list[dict[Hashable, list[str]]] = [
             defaultdict(list) for _ in range(num_tables)
         ]
-        self._bulk: list[list[_BulkBuckets]] = [[] for _ in range(num_tables)]
+        self._pending: list[_PendingSlab] = []
+        #: Lazily derived buckets of all pending slabs, merged — one
+        #: (or no) bucket group per table; ``None`` marks the cache
+        #: stale (new slabs arrived since the last grouping).
+        self._bulk: list[_BulkBuckets | None] | None = None
 
     def add(
         self,
@@ -179,13 +231,16 @@ class BandedLSHIndex:
             per-record no-gate path.
 
         Buckets come out of :meth:`blocks` in first-occurrence order
-        with members in dataset order — exactly what n calls to
+        with members in insertion order — exactly what n calls to
         :meth:`add` would have produced — at the cost of one stable
         sort per table instead of per-record dict operations.
 
-        Records of *one corpus* must arrive in *one call*: buckets do
-        not merge with earlier ``add_many`` or :meth:`add` insertions,
-        so splitting a corpus across calls silently splits its blocks.
+        Slabs of one corpus may arrive across *multiple* calls (the
+        streaming path): grouping is deferred until :meth:`blocks` /
+        :meth:`bucket_sizes`, where all slabs are concatenated per
+        table and bucketed together, so records from different slabs
+        with equal (band key, gate suffix) share a bucket. Record ids
+        must be unique across slabs, as within a dataset.
         """
         n = len(record_ids)
         key_matrix = np.asarray(key_matrix)
@@ -200,35 +255,99 @@ class BandedLSHIndex:
             )
         if n == 0:
             return
-        ids = np.asarray(record_ids, dtype=object)
-        for table in range(self.num_tables):
-            keys_col = key_matrix[:, table]
-            if gate_entries is None or gate_entries[table] is None:
-                # Band keys sort directly; no per-entry suffixes.
-                order, starts, ends = _segment(keys_col)
-                entry_ids = ids
-            else:
-                entry_rows, suffixes = gate_entries[table]
-                entry_rows = np.asarray(entry_rows, dtype=np.int64)
-                if entry_rows.size == 0:
-                    continue
-                _, band_label = np.unique(keys_col, return_inverse=True)
-                if isinstance(suffixes, np.ndarray):
-                    # Distinct (band, suffix) pairs need distinct
-                    # labels: stride the band label by the suffix range.
-                    suffixes = suffixes.astype(np.int64, copy=False)
-                    span = int(suffixes.max()) + 1
-                    labels = band_label[entry_rows] * span + suffixes
-                else:
-                    # One shared suffix (AND gates): the band label
-                    # alone separates buckets.
-                    labels = band_label[entry_rows]
-                order, starts, ends = _segment(labels)
-                entry_ids = ids[entry_rows]
-            emit_order = np.argsort(order[starts], kind="stable")
-            self._bulk[table].append(
-                _BulkBuckets(entry_ids[order], starts, ends, emit_order)
+        self._pending.append(
+            _PendingSlab(
+                np.asarray(record_ids, dtype=object), key_matrix, gate_entries
             )
+        )
+        self._bulk = None
+
+    def _merged_bulk(self) -> list[_BulkBuckets | None]:
+        """Group all pending slabs per table, merging across slabs.
+
+        Entries are ordered slab-major (call order), record-major
+        within a slab — the order ``n`` per-record :meth:`add` calls
+        over the concatenated corpus would produce — so bucket members
+        and first-occurrence emission are byte-identical to a single
+        bulk insertion of the whole corpus.
+        """
+        if self._bulk is not None:
+            return self._bulk
+        bulk: list[_BulkBuckets | None] = [None] * self.num_tables
+        slabs = self._pending
+        if slabs:
+            ids_all = (
+                slabs[0].ids
+                if len(slabs) == 1
+                else np.concatenate([slab.ids for slab in slabs])
+            )
+            bases = np.cumsum([0] + [slab.ids.size for slab in slabs])
+            for table in range(self.num_tables):
+                bulk[table] = self._group_table(table, slabs, ids_all, bases)
+        self._bulk = bulk
+        return bulk
+
+    def _group_table(
+        self,
+        table: int,
+        slabs: list[_PendingSlab],
+        ids_all: np.ndarray,
+        bases: np.ndarray,
+    ) -> _BulkBuckets | None:
+        keys_all = (
+            slabs[0].key_matrix[:, table]
+            if len(slabs) == 1
+            else np.concatenate([slab.key_matrix[:, table] for slab in slabs])
+        )
+        gates = [
+            None if slab.gate_entries is None else slab.gate_entries[table]
+            for slab in slabs
+        ]
+        if all(gate is None for gate in gates):
+            # Band keys sort directly; no per-entry suffixes.
+            order, starts, ends = _segment(keys_all)
+            entry_ids = ids_all
+        else:
+            # Distinct (band, suffix) pairs need distinct labels: give
+            # every suffix an integer code — OR-gate bit indices stay
+            # themselves (non-negative, comparable across slabs),
+            # shared AND-style suffixes get negative codes by first
+            # occurrence — then stride the band label by the code range.
+            _, band_label = np.unique(keys_all, return_inverse=True)
+            scalar_codes: dict[Hashable, int] = {}
+            rows_parts: list[np.ndarray] = []
+            suffix_parts: list[np.ndarray] = []
+            for slab, gate, base in zip(slabs, gates, bases):
+                if gate is None:
+                    rows = np.arange(slab.ids.size, dtype=np.int64) + base
+                    suffix_values = np.full(
+                        rows.size, _scalar_code(scalar_codes, _NO_GATE), np.int64
+                    )
+                else:
+                    entry_rows, suffixes = gate
+                    entry_rows = np.asarray(entry_rows, dtype=np.int64)
+                    if entry_rows.size == 0:
+                        continue
+                    rows = entry_rows + base
+                    if isinstance(suffixes, np.ndarray):
+                        suffix_values = suffixes.astype(np.int64, copy=False)
+                    else:
+                        suffix_values = np.full(
+                            rows.size, _scalar_code(scalar_codes, suffixes), np.int64
+                        )
+                rows_parts.append(rows)
+                suffix_parts.append(suffix_values)
+            if not rows_parts:
+                return None
+            entry_rows = np.concatenate(rows_parts)
+            suffix_values = np.concatenate(suffix_parts)
+            low = int(suffix_values.min())
+            span = int(suffix_values.max()) - low + 1
+            labels = band_label[entry_rows] * span + (suffix_values - low)
+            order, starts, ends = _segment(labels)
+            entry_ids = ids_all[entry_rows]
+        emit_order = np.argsort(order[starts], kind="stable")
+        return _BulkBuckets(entry_ids[order], starts, ends, emit_order)
 
     def blocks(self, *, min_size: int = 2) -> list[tuple[str, ...]]:
         """All buckets holding at least ``min_size`` records.
@@ -238,12 +357,13 @@ class BandedLSHIndex:
         as the paper's framework intends).
         """
         found: list[tuple[str, ...]] = []
+        merged = self._merged_bulk()
         for table in range(self.num_tables):
             for members in self._tables[table].values():
                 if len(members) >= min_size:
                     found.append(tuple(members))
-            for bulk in self._bulk[table]:
-                found.extend(bulk.iter_buckets(min_size))
+            if merged[table] is not None:
+                found.extend(merged[table].iter_buckets(min_size))
         return found
 
     def bucket_sizes(self) -> list[int]:
@@ -251,7 +371,7 @@ class BandedLSHIndex:
         sizes = [
             len(members) for table in self._tables for members in table.values()
         ]
-        for per_table in self._bulk:
-            for bulk in per_table:
+        for bulk in self._merged_bulk():
+            if bulk is not None:
                 sizes.extend(bulk.sizes()[bulk.emit_order].tolist())
         return sizes

@@ -1,14 +1,20 @@
 """Minhash signatures over q-gram shingles (paper Section 5.1)."""
 
-from repro.minhash.corpus import ShingledCorpus
+from repro.minhash.corpus import ShingledCorpus, ShingleVocabulary
 from repro.minhash.shingling import Shingler
 from repro.minhash.minhash import MinHasher
-from repro.minhash.signature import SignatureMatrix, build_signature_matrix
+from repro.minhash.signature import (
+    SignatureMatrix,
+    build_signature_matrix,
+    open_signature_memmap,
+)
 
 __all__ = [
     "ShingledCorpus",
+    "ShingleVocabulary",
     "Shingler",
     "MinHasher",
     "SignatureMatrix",
     "build_signature_matrix",
+    "open_signature_memmap",
 ]

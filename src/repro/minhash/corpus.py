@@ -8,14 +8,108 @@ single concatenated token array — a CSR-style layout that downstream
 batch kernels (:meth:`repro.minhash.minhash.MinHasher.signature_matrix`)
 reduce with ``np.minimum.reduceat`` instead of n per-record broadcasts.
 See DESIGN.md, "Batch signature engine".
+
+For streaming ingestion, a :class:`ShingleVocabulary` carries the
+interned vocabulary *across* shingling calls: successive record slabs
+extend one growing vocabulary instead of re-interning (and
+re-hashing) the grams every slab shares with its predecessors.
+Signatures themselves are a pure function of the hashed gram multiset
+— they would be byte-identical even with a private vocabulary per
+slab — so the shared vocabulary is a throughput optimisation plus a
+single token id space for token-level work, not a correctness
+requirement (see DESIGN.md, "Parallel & streaming runtime").
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
+from typing import Hashable
 
 import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.cache import LRUCache
+from repro.utils.hashing import MERSENNE_PRIME_61, stable_hash
+
+#: Default capacity of the per-value / per-value-tuple memo caches of a
+#: :class:`ShingleVocabulary`. The caches only save recomputation —
+#: capping them bounds the memory of long-running streaming ingestion
+#: without affecting results.
+DEFAULT_VALUE_CACHE_SIZE = 65_536
+
+
+class ShingleVocabulary:
+    """Mutable interned shingle vocabulary for (incremental) shingling.
+
+    One :class:`ShingleVocabulary` maps each distinct shingle string to
+    a stable index and its 61-bit hash, exactly once, no matter how many
+    corpus slabs are shingled against it — repeated grams across slabs
+    skip interning, SHA-1 digesting and the memo caches' recomputation.
+    Indices are append-only: a gram interned in slab 1 keeps its index
+    in every later slab, so :class:`ShingledCorpus` objects built
+    against the same vocabulary share one token id space (convenient
+    for token-level work; minhash signatures are hash-based and do not
+    depend on it).
+
+    The vocabulary also owns the two memo caches used by
+    :meth:`repro.minhash.shingling.Shingler.shingle_corpus` — token ids
+    per attribute value and per value *tuple*. Both are LRU-capped
+    (``max_cached_values``) so unbounded streams of distinct values
+    cannot leak memory; an eviction merely costs re-tokenising that
+    value if it reappears.
+
+    A vocabulary is bound to the configuration of the first
+    :class:`~repro.minhash.shingling.Shingler` that uses it; reusing it
+    with a differently-configured shingler raises
+    :class:`~repro.errors.ConfigurationError` (the memoised token ids
+    would silently be wrong otherwise).
+    """
+
+    __slots__ = ("_index", "_hashes", "_snapshot", "_config",
+                 "value_tokens", "row_tokens")
+
+    def __init__(self, *, max_cached_values: int = DEFAULT_VALUE_CACHE_SIZE) -> None:
+        self._index: dict[str, int] = {}
+        self._hashes: list[int] = []
+        self._snapshot: np.ndarray | None = None
+        self._config: tuple[Hashable, ...] | None = None
+        self.value_tokens = LRUCache(max_cached_values)
+        self.row_tokens = LRUCache(max_cached_values)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def intern(self, gram: str) -> int:
+        """Index of ``gram``, interning (and hashing) it on first sight."""
+        index = self._index.get(gram)
+        if index is None:
+            index = len(self._index)
+            self._index[gram] = index
+            self._hashes.append(stable_hash(gram) % MERSENNE_PRIME_61)
+        return index
+
+    def hashes(self) -> np.ndarray:
+        """Stable 61-bit ids of the vocabulary, index-aligned (uint64).
+
+        The returned array is a snapshot: growing the vocabulary later
+        produces a new, longer array and leaves previously returned
+        snapshots (held by earlier :class:`ShingledCorpus` slabs)
+        untouched.
+        """
+        if self._snapshot is None or self._snapshot.shape[0] != len(self._hashes):
+            self._snapshot = np.asarray(self._hashes, dtype=np.uint64)
+        return self._snapshot
+
+    def bind_config(self, config: tuple[Hashable, ...]) -> None:
+        """Pin the shingler configuration this vocabulary serves."""
+        if self._config is None:
+            self._config = config
+        elif self._config != config:
+            raise ConfigurationError(
+                "ShingleVocabulary is bound to shingler configuration "
+                f"{self._config!r}; cannot reuse it with {config!r}"
+            )
 
 
 @dataclass(frozen=True)

@@ -13,11 +13,35 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.minhash.corpus import ShingledCorpus
 from repro.utils.hashing import MERSENNE_PRIME_61, UniversalHashFamily
+from repro.utils.parallel import chunk_spans, run_chunked
 
 #: Upper bound on the number of gathered hash values a single batch
 #: chunk may materialise (elements, not bytes): bounds the working set
 #: of :meth:`MinHasher.signature_matrix` at ~64 MiB of uint64 per chunk.
+#: With ``workers=w`` up to w chunks are in flight, so the transient
+#: bound scales to w * 64 MiB.
 _CHUNK_ELEMENTS = 8_000_000
+
+
+def ensure_signature_out(
+    out: np.ndarray | None, num_records: int, num_hashes: int
+) -> np.ndarray:
+    """Validate (or allocate) a signature output buffer.
+
+    ``out`` may be any writable uint64 array of shape ``(num_records,
+    num_hashes)`` — typically a slice of a memory-mapped ``.npy`` file
+    created by :func:`repro.minhash.signature.open_signature_memmap`,
+    which lets signature matrices larger than RAM spill to disk.
+    """
+    if out is None:
+        return np.empty((num_records, num_hashes), dtype=np.uint64)
+    if out.shape != (num_records, num_hashes):
+        raise ConfigurationError(
+            f"out has shape {out.shape}, expected {(num_records, num_hashes)}"
+        )
+    if out.dtype != np.uint64:
+        raise ConfigurationError(f"out must be uint64, got {out.dtype}")
+    return out
 
 
 def sentinel_stream(
@@ -37,6 +61,34 @@ def sentinel_stream(
     """
     tokens_ext = np.concatenate([corpus.token_vocab, [corpus.vocab_size]])
     return tokens_ext, corpus.indptr[:-1], corpus.counts == 0
+
+
+def compact_vocabulary(
+    corpus: ShingledCorpus, tokens_ext: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Restrict the vocabulary to the entries ``tokens_ext`` references.
+
+    A corpus shingled against a shared growing
+    :class:`~repro.minhash.corpus.ShingleVocabulary` (the streaming
+    path) carries the *cumulative* vocabulary, of which a small slab
+    may reference only a sliver — evaluating the hash family over all
+    of it per slab would repeat work proportional to the stream's
+    history. When the vocabulary outgrows the token stream (impossible
+    for a one-shot corpus, whose every entry is referenced), remap the
+    stream to the compact set of used entries; the appended sentinel
+    index stays the largest, i.e. ``len(hashes)`` after compaction.
+
+    Returns ``(vocab_hashes, tokens_ext)``, unchanged when compaction
+    would not pay for its ``np.unique``.
+    """
+    if corpus.vocab_size <= tokens_ext.shape[0]:
+        return corpus.vocab_hashes, tokens_ext
+    used, remapped = np.unique(tokens_ext, return_inverse=True)
+    # `used` is sorted, so its last entry is the sentinel index
+    # (vocab_size, the largest value in the stream) — drop it from the
+    # hash gather; the remapped sentinel lands on column len(used) - 1,
+    # exactly where gathered_span appends the sentinel value.
+    return corpus.vocab_hashes[used[:-1]], remapped
 
 
 class MinHasher:
@@ -72,7 +124,12 @@ class MinHasher:
         return self._family.min_over(shingle_ids)
 
     def signature_matrix(
-        self, corpus: ShingledCorpus, *, chunk_elements: int = _CHUNK_ELEMENTS
+        self,
+        corpus: ShingledCorpus,
+        *,
+        chunk_elements: int = _CHUNK_ELEMENTS,
+        workers: int | None = 1,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Minhash signatures for a whole corpus in one vectorized pass.
 
@@ -85,49 +142,81 @@ class MinHasher:
         ``chunk_elements`` values (see DESIGN.md, "Batch signature
         engine").
 
+        Parameters
+        ----------
+        chunk_elements:
+            Per-chunk working-set cap (gathered uint64 values).
+        workers:
+            Number of threads evaluating hash-function chunks
+            concurrently; ``None`` uses every CPU. Chunks are
+            independent and write disjoint column slices, and the numpy
+            kernels they run release the GIL — results are
+            byte-identical for every worker count (see DESIGN.md,
+            "Parallel & streaming runtime").
+        out:
+            Optional preallocated ``(num_records, num_hashes)`` uint64
+            buffer, e.g. a memory-mapped ``.npy`` slice from
+            :func:`~repro.minhash.signature.open_signature_memmap`, so
+            signature matrices larger than RAM spill to disk.
+
         Returns a ``(num_records, num_hashes)`` uint64 matrix whose row
         ``i`` is byte-identical to ``signature(shingle_ids(record_i))``,
         including the empty-set sentinel rows.
         """
         n = corpus.num_records
-        out = np.empty((n, self.num_hashes), dtype=np.uint64)
+        out = ensure_signature_out(out, n, self.num_hashes)
         if n == 0:
             return out
         if corpus.num_tokens == 0:
-            out.fill(MERSENNE_PRIME_61)
+            out[:] = np.uint64(MERSENNE_PRIME_61)
             return out
 
         tokens_ext, starts, empty_rows = sentinel_stream(corpus)
-        for lo, hi, gathered in self.gathered_chunks(
-            corpus, tokens_ext, chunk_elements
-        ):
+        vocab_hashes, tokens_ext = compact_vocabulary(corpus, tokens_ext)
+
+        def compute(lo: int, hi: int) -> None:
+            gathered = self.gathered_span(vocab_hashes, tokens_ext, lo, hi)
             minima = np.minimum.reduceat(gathered, starts, axis=1)
             minima[:, empty_rows] = MERSENNE_PRIME_61
             out[:, lo:hi] = minima.T
+
+        run_chunked(
+            compute,
+            chunk_spans(
+                self.num_hashes,
+                self.rows_per_chunk(tokens_ext.shape[0], chunk_elements),
+            ),
+            workers,
+        )
         return out
 
-    def gathered_chunks(
-        self, corpus: ShingledCorpus, tokens_ext: np.ndarray, chunk_elements: int
-    ):
-        """Yield ``(lo, hi, gathered)`` hash-function chunks.
+    def rows_per_chunk(self, stream: int, chunk_elements: int) -> int:
+        """Hash functions per chunk keeping the gather under the cap."""
+        return max(1, min(self.num_hashes, chunk_elements // max(stream, 1)))
 
-        ``gathered`` is the ``(hi - lo, num_tokens + 1)`` matrix of hash
-        values along the sentinel-extended token stream: the family is
-        evaluated once per chunk over the vocabulary (plus the sentinel
-        column at value p) and gathered to the stream. Chunks are sized
-        so ``gathered`` stays under ``chunk_elements`` values.
+    def gathered_span(
+        self,
+        vocab_hashes: np.ndarray,
+        tokens_ext: np.ndarray,
+        lo: int,
+        hi: int,
+    ) -> np.ndarray:
+        """Hash values of functions ``lo..hi`` along the token stream.
+
+        The ``(hi - lo, num_tokens + 1)`` matrix of hash values along
+        the sentinel-extended token stream: the family is evaluated over
+        ``vocab_hashes`` (plus the sentinel column at value p, indexed
+        by ``len(vocab_hashes)``) and gathered to the stream. Pure
+        function of its inputs — safe to evaluate concurrently for
+        disjoint spans.
         """
-        stream = tokens_ext.shape[0]
         sentinel = np.uint64(MERSENNE_PRIME_61)
-        rows_per_chunk = max(1, min(self.num_hashes, chunk_elements // stream))
-        for lo in range(0, self.num_hashes, rows_per_chunk):
-            hi = min(lo + rows_per_chunk, self.num_hashes)
-            vocab_values = self._family.hash_values(corpus.vocab_hashes, lo, hi)
-            vocab_values = np.concatenate(
-                [vocab_values, np.full((hi - lo, 1), sentinel, dtype=np.uint64)],
-                axis=1,
-            )
-            yield lo, hi, vocab_values[:, tokens_ext]
+        vocab_values = self._family.hash_values(vocab_hashes, lo, hi)
+        vocab_values = np.concatenate(
+            [vocab_values, np.full((hi - lo, 1), sentinel, dtype=np.uint64)],
+            axis=1,
+        )
+        return vocab_values[:, tokens_ext]
 
     def estimate_jaccard(self, sig1: np.ndarray, sig2: np.ndarray) -> float:
         """Fraction of agreeing components — unbiased Jaccard estimate."""

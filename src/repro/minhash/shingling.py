@@ -14,7 +14,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.minhash.corpus import ShingledCorpus
+from repro.minhash.corpus import ShingledCorpus, ShingleVocabulary
 from repro.records.record import Record
 from repro.text.normalize import normalize
 from repro.text.qgrams import qgrams
@@ -74,7 +74,12 @@ class Shingler:
         ]
         return np.array(ids, dtype=np.uint64)
 
-    def shingle_corpus(self, records: Iterable[Record]) -> ShingledCorpus:
+    def shingle_corpus(
+        self,
+        records: Iterable[Record],
+        *,
+        vocabulary: ShingleVocabulary | None = None,
+    ) -> ShingledCorpus:
         """One-pass corpus shingling with an interned vocabulary.
 
         Each distinct shingle string across the whole corpus is
@@ -82,9 +87,25 @@ class Shingler:
         vocabulary indices. This is the entry point of the batch
         signature engine (see DESIGN.md): downstream kernels evaluate
         hash families over the vocabulary instead of per record.
+
+        Parameters
+        ----------
+        records:
+            The records to shingle, in dataset order.
+        vocabulary:
+            Optional :class:`~repro.minhash.corpus.ShingleVocabulary`
+            extended *in place* — the incremental/streaming mode. Pass
+            the same vocabulary for successive record slabs and grams
+            shared with earlier slabs are neither re-interned nor
+            re-hashed, and all slabs share one token id space.
+            Signatures are a pure function of the hashed gram multiset,
+            so they are identical with or without a shared vocabulary —
+            sharing buys throughput, not correctness. ``None`` (the
+            default) uses a fresh private vocabulary, the one-shot
+            behaviour.
         """
-        vocab: dict[str, int] = {}
-        vocab_hashes: list[int] = []
+        vocab = ShingleVocabulary() if vocabulary is None else vocabulary
+        vocab.bind_config((self.attributes, self.q, self.padded))
         indptr: list[int] = [0]
         tokens: list[int] = []
         record_ids: list[str] = []
@@ -99,23 +120,16 @@ class Shingler:
                 grams = (f"{attribute}={normalized}",)
             else:
                 grams = qgrams(normalized, self.q, padded=self.padded)
-            value_tokens: list[int] = []
-            for gram in grams:
-                index = vocab.get(gram)
-                if index is None:
-                    index = len(vocab)
-                    vocab[gram] = index
-                    vocab_hashes.append(stable_hash(gram) % MERSENNE_PRIME_61)
-                value_tokens.append(index)
-            return value_tokens
+            return [vocab.intern(gram) for gram in grams]
 
         # Shingle sets depend only on the attribute values, which repeat
         # heavily in real corpora (duplicate entities, small name
         # pools): memoize token ids per value — and per value *tuple* —
         # so repeated records skip normalization, q-gram extraction and
-        # interning entirely.
-        by_value: dict[tuple[str, str], list[int]] = {}
-        by_values: dict[tuple[str, ...], list[int]] = {}
+        # interning entirely. The memos live on the vocabulary and are
+        # LRU-capped, so streaming ingestion cannot leak through them.
+        by_value = vocab.value_tokens
+        by_values = vocab.row_tokens
         for record in records:
             record_ids.append(record.record_id)
             values = tuple(record.get(attribute) for attribute in self.attributes)
@@ -139,7 +153,7 @@ class Shingler:
             record_ids=tuple(record_ids),
             indptr=np.asarray(indptr, dtype=np.int64),
             token_vocab=np.asarray(tokens, dtype=np.int64),
-            vocab_hashes=np.asarray(vocab_hashes, dtype=np.uint64),
+            vocab_hashes=vocab.hashes(),
         )
 
     def jaccard(self, record1: Record, record2: Record) -> float:

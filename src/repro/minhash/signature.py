@@ -1,7 +1,17 @@
-"""Signature matrices: minhash signatures for a whole dataset."""
+"""Signature matrices: minhash signatures for a whole dataset.
+
+Includes the on-disk form: :func:`open_signature_memmap` creates a
+``.npy``-backed memory map that :meth:`MinHasher.signature_matrix`
+(via its ``out=`` argument) and
+:meth:`repro.core.lsh_blocker.LSHBlocker.block_stream` (via
+``signatures_out=``) fill slab by slab, so signature matrices larger
+than RAM spill to disk instead of failing (see DESIGN.md, "Parallel &
+streaming runtime").
+"""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -41,15 +51,38 @@ class SignatureMatrix:
 
 
 def build_signature_matrix(
-    dataset: Dataset, shingler: Shingler, hasher: MinHasher
+    dataset: Dataset,
+    shingler: Shingler,
+    hasher: MinHasher,
+    *,
+    workers: int | None = 1,
 ) -> SignatureMatrix:
     """Shingle and minhash every record of ``dataset``.
 
     Runs on the corpus-level batch engine: one interned shingling pass
-    and a chunked vectorized minhash, byte-identical to hashing each
-    record separately.
+    and a chunked vectorized minhash (``workers`` threads evaluate the
+    chunks), byte-identical to hashing each record separately.
     """
     corpus = shingler.shingle_corpus(dataset)
     return SignatureMatrix(
-        record_ids=corpus.record_ids, matrix=hasher.signature_matrix(corpus)
+        record_ids=corpus.record_ids,
+        matrix=hasher.signature_matrix(corpus, workers=workers),
+    )
+
+
+def open_signature_memmap(
+    path: str | os.PathLike, num_records: int, num_hashes: int
+) -> np.memmap:
+    """Create a writable ``.npy``-backed signature matrix on disk.
+
+    The returned ``(num_records, num_hashes)`` uint64 memory map can be
+    passed whole to :meth:`MinHasher.signature_matrix` (``out=``) or to
+    :meth:`repro.core.lsh_blocker.LSHBlocker.block_stream`
+    (``signatures_out=``), which fills consecutive row slabs as records
+    stream in. The file is a valid ``.npy`` array, so a later process
+    can reopen it with ``np.load(path, mmap_mode="r")``.
+    """
+    return np.lib.format.open_memmap(
+        os.fspath(path), mode="w+", dtype=np.uint64,
+        shape=(num_records, num_hashes),
     )

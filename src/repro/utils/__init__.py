@@ -1,7 +1,10 @@
-"""Small shared utilities: seeded randomness and universal hashing."""
+"""Small shared utilities: seeded randomness, universal hashing,
+bounded caching, and thread-parallel chunk execution."""
 
 from repro.utils.rand import derive_seed, rng_from_seed
 from repro.utils.hashing import MERSENNE_PRIME_61, UniversalHashFamily, stable_hash
+from repro.utils.cache import LRUCache
+from repro.utils.parallel import chunk_spans, resolve_workers, run_chunked
 
 __all__ = [
     "derive_seed",
@@ -9,4 +12,8 @@ __all__ = [
     "MERSENNE_PRIME_61",
     "UniversalHashFamily",
     "stable_hash",
+    "LRUCache",
+    "chunk_spans",
+    "resolve_workers",
+    "run_chunked",
 ]

@@ -1,0 +1,64 @@
+"""A minimal bounded LRU mapping.
+
+Long-running streaming ingestion keeps memo caches alive across corpus
+slabs (see :class:`repro.minhash.corpus.ShingleVocabulary`); an
+unbounded dict there would grow with every distinct attribute value
+ever seen. :class:`LRUCache` caps those caches: hits refresh recency,
+inserts beyond capacity evict the least recently used entry. Evictions
+only cost a recomputation — cached values here are pure functions of
+their keys.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Iterator
+
+
+class LRUCache:
+    """A dict-like cache holding at most ``capacity`` entries.
+
+    ``get`` refreshes the entry's recency; ``__setitem__`` evicts the
+    least recently used entry once the cache would exceed capacity.
+    """
+
+    __slots__ = ("capacity", "_data")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        try:
+            value = self._data[key]
+        except KeyError:
+            return default
+        self._data.move_to_end(key)
+        return value
+
+    def __getitem__(self, key: Hashable) -> Any:
+        value = self._data[key]
+        self._data.move_to_end(key)
+        return value
+
+    def __setitem__(self, key: Hashable, value: Any) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if len(data) > self.capacity:
+            data.popitem(last=False)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()

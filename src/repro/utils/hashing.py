@@ -32,14 +32,24 @@ from repro.utils.rand import rng_from_seed
 MERSENNE_PRIME_61 = (1 << 61) - 1
 
 
-@lru_cache(maxsize=1 << 20)
+#: Hard cap on the process-wide SHA-1 memo. q-gram vocabularies of even
+#: web-scale corpora stay far below this, so hits stay hot, while a
+#: streaming workload hashing unbounded distinct strings (the long-run
+#: ingestion case — see DESIGN.md, "Parallel & streaming runtime")
+#: tops out around ~35 MB of cache instead of leaking without bound.
+STABLE_HASH_CACHE_SIZE = 1 << 18
+
+
+@lru_cache(maxsize=STABLE_HASH_CACHE_SIZE)
 def stable_hash(value: str, *, bits: int = 61) -> int:
     """Hash a string to a stable non-negative integer of ``bits`` bits.
 
     Python's builtin ``hash`` is salted per process; benchmarks and tests
     need identical shingle ids across runs, so we use SHA-1. The result
-    is memoized: q-grams repeat heavily across the records of a corpus,
-    so each distinct gram is digested exactly once per process.
+    is memoized with an LRU cap of :data:`STABLE_HASH_CACHE_SIZE`:
+    q-grams repeat heavily across the records of a corpus, so each
+    distinct gram is digested once while it stays hot, and an eviction
+    only costs a re-digest — the value is a pure function of the input.
     """
     digest = hashlib.sha1(value.encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big") & ((1 << bits) - 1)

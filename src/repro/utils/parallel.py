@@ -1,0 +1,57 @@
+"""Thread-parallel execution of independent array chunks.
+
+The batch signature engine splits its work over hash-function chunks
+that touch disjoint output slices (see DESIGN.md, "Parallel & streaming
+runtime"). Those chunks are dominated by numpy kernels — the exact
+modular multiply, fancy-indexed gathers and ``np.minimum.reduceat`` —
+which release the GIL on large arrays, so plain threads scale across
+cores without pickling the corpus into worker processes.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a ``workers=`` argument: ``None`` means all CPUs."""
+    if workers is None:
+        return os.cpu_count() or 1
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1 or None, got {workers}")
+    return workers
+
+
+def chunk_spans(total: int, per_chunk: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into contiguous ``(lo, hi)`` spans."""
+    if per_chunk < 1:
+        raise ConfigurationError(f"per_chunk must be >= 1, got {per_chunk}")
+    return [(lo, min(lo + per_chunk, total)) for lo in range(0, total, per_chunk)]
+
+
+def run_chunked(
+    fn: Callable[[int, int], None],
+    spans: Sequence[tuple[int, int]],
+    workers: int | None = 1,
+) -> None:
+    """Run ``fn(lo, hi)`` over every span, serially or on a thread pool.
+
+    ``fn`` must be safe to run concurrently for distinct spans (each
+    span writes a disjoint output slice). Results are identical
+    regardless of ``workers`` — the spans themselves define the work,
+    parallelism only changes who executes them. Exceptions propagate to
+    the caller.
+    """
+    effective = min(resolve_workers(workers), len(spans))
+    if effective <= 1:
+        for lo, hi in spans:
+            fn(lo, hi)
+        return
+    with ThreadPoolExecutor(max_workers=effective) as pool:
+        futures = [pool.submit(fn, lo, hi) for lo, hi in spans]
+        for future in futures:
+            future.result()

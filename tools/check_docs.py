@@ -1,0 +1,142 @@
+"""Documentation checker: links resolve, README snippets run.
+
+Two checks, used by the CI docs job (see .github/workflows/ci.yml):
+
+1. **Link check** — every relative markdown link/image in the repo's
+   documentation points at a file or directory that exists (external
+   ``http(s)``/``mailto`` targets and pure ``#anchors`` are skipped).
+2. **Snippet check** (``--run-snippets``) — every fenced ``python`` and
+   ``bash`` code block in README.md actually runs, exactly as written.
+   Blocks execute in a scratch directory containing a ``src`` symlink
+   to the repo's ``src``, so the documented ``PYTHONPATH=src`` prefix
+   works and generated files (CSVs, spilled ``.npy``) never pollute
+   the checkout. Lines invoking ``pip install`` / ``setup.py`` are
+   skipped — installation is environment-dependent by nature.
+
+Exit status is non-zero on any failure, with a per-finding report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose links are validated.
+DOC_GLOBS = ("*.md", "benchmarks/*.md", "examples/*.md", "tools/*.md")
+
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE = re.compile(r"^```(\w*)\s*$")
+_SKIP_COMMANDS = ("pip install", "setup.py")
+
+
+def iter_doc_files() -> list[Path]:
+    found: list[Path] = []
+    for pattern in DOC_GLOBS:
+        found.extend(sorted(REPO_ROOT.glob(pattern)))
+    return found
+
+
+def check_links() -> list[str]:
+    """Relative links in every doc file must resolve on disk."""
+    problems: list[str] = []
+    for doc in iter_doc_files():
+        for target in _LINK.findall(doc.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{doc.relative_to(REPO_ROOT)}: broken link -> {target}"
+                )
+    return problems
+
+
+def extract_snippets(markdown: Path) -> list[tuple[str, str]]:
+    """(language, source) for every fenced python/bash block."""
+    snippets: list[tuple[str, str]] = []
+    language: str | None = None
+    lines: list[str] = []
+    for line in markdown.read_text(encoding="utf-8").splitlines():
+        fence = _FENCE.match(line)
+        if fence and language is None:
+            language = fence.group(1).lower()
+            lines = []
+        elif line.strip() == "```" and language is not None:
+            if language in ("python", "bash"):
+                snippets.append((language, "\n".join(lines)))
+            language = None
+        elif language is not None:
+            lines.append(line)
+    return snippets
+
+
+def run_snippets(markdown: Path) -> list[str]:
+    """Execute README code blocks in a scratch dir with a src symlink."""
+    problems: list[str] = []
+    snippets = extract_snippets(markdown)
+    if not snippets:
+        return [f"{markdown.name}: no runnable snippets found"]
+    with tempfile.TemporaryDirectory(prefix="check-docs-") as scratch:
+        scratch_path = Path(scratch)
+        (scratch_path / "src").symlink_to(REPO_ROOT / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        for position, (language, source) in enumerate(snippets, 1):
+            if language == "bash":
+                source = "\n".join(
+                    line
+                    for line in source.splitlines()
+                    if not any(skip in line for skip in _SKIP_COMMANDS)
+                )
+                if not source.strip():
+                    continue
+                command = ["bash", "-euo", "pipefail", "-c", source]
+            else:
+                command = [sys.executable, "-c", source]
+            print(f"[snippet {position}] running {language} block ...")
+            proc = subprocess.run(
+                command, cwd=scratch_path, env=env,
+                capture_output=True, text=True, timeout=600,
+            )
+            if proc.returncode != 0:
+                problems.append(
+                    f"{markdown.name} snippet {position} ({language}) failed "
+                    f"with rc={proc.returncode}:\n{proc.stdout}\n{proc.stderr}"
+                )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--run-snippets", action="store_true",
+        help="also execute README.md python/bash code blocks",
+    )
+    args = parser.parse_args()
+
+    problems = check_links()
+    print(f"link check: {len(list(iter_doc_files()))} files scanned")
+    if args.run_snippets:
+        problems += run_snippets(REPO_ROOT / "README.md")
+
+    if problems:
+        print(f"\n{len(problems)} documentation problem(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("documentation checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
