@@ -11,8 +11,19 @@ appear on the same 50k+ axis. Results land in
 ``BENCH_perf_blocking.json`` at the repo root so future PRs have a perf
 trajectory to compare against.
 
+A fifth section times the downstream *pair pipeline* over the LSH
+blocks — candidate-pair enumeration, PC/PQ/RR/FM evaluation,
+meta-blocking (ECBS + WNP) and similarity matching — under the legacy
+per-pair Python path and the array-backed candidate-pair engine
+(DESIGN.md, "Candidate-pair engine"), reporting pairs/sec and the
+end-to-end ``pipeline_speedup`` headline.
+
 Every run doubles as a large-scale equivalence check: blocks are
-asserted identical across per-record/batch/parallel/streamed engines.
+asserted identical across per-record/batch/parallel/streamed engines,
+and the pair pipeline asserts identical pair sets, metrics,
+retained-edge sets and match decisions between the legacy and array
+engines (``main`` and the pytest wrapper both fail if the speedup
+column is missing or < 1 — a silent fallback to the legacy path).
 
 Environment knobs (see benchmarks/README.md):
 
@@ -40,8 +51,11 @@ from repro.baselines import (
     StandardBlocker,
     SuffixArrayBlocker,
 )
+from repro.core.base import BlockingResult
 from repro.datasets import NCVoterLikeGenerator
-from repro.evaluation import format_table
+from repro.er import SimilarityMatcher
+from repro.evaluation import evaluate_blocks, format_table
+from repro.metablocking import run_metablocking
 from repro.minhash import open_signature_memmap
 
 from _shared import (
@@ -56,6 +70,17 @@ DEFAULT_SIZES = (10_000, 50_000)
 DEFAULT_WORKERS = 4
 #: Streamed runs cut the corpus into this many record slabs.
 STREAM_SLABS = 8
+#: Pair-pipeline meta-blocking configuration (per-node pruning is the
+#: heaviest legacy loop, ECBS exercises the log-factor weights).
+PIPELINE_SCHEME, PIPELINE_ALGORITHM = "ECBS", "WNP"
+#: Band width of the pair-ladder blocker. The §6.1-tuned k=9 keeps the
+#: candidate set too sparse to stress the pair stages; k=4 yields the
+#: redundancy-positive, overlapping collection meta-blocking targets
+#: (~400k distinct / ~540k multiset pairs at 10k records).
+PIPELINE_K = 4
+#: Candidate-pair cap for the matcher stage (the legacy per-pair
+#: comparator dominates wall time far below the 50k ladder's edge count).
+MATCH_PAIR_CAP = 100_000
 RESULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_perf_blocking.json"
 
 
@@ -149,6 +174,116 @@ def _run_engine_pair(make_blocker, dataset, warmup_dataset, *, stream: bool) -> 
     return stats
 
 
+def _stage(legacy_seconds: float, array_seconds: float, pairs: int) -> dict:
+    legacy_seconds = max(legacy_seconds, 1e-9)
+    array_seconds = max(array_seconds, 1e-9)
+    return {
+        "legacy_seconds": round(legacy_seconds, 4),
+        "array_seconds": round(array_seconds, 4),
+        "legacy_pairs_per_sec": round(pairs / legacy_seconds, 1),
+        "array_pairs_per_sec": round(pairs / array_seconds, 1),
+        "speedup": round(legacy_seconds / array_seconds, 2),
+    }
+
+
+def _run_pair_pipeline(dataset, blocks) -> dict:
+    """Time enumerate -> evaluate -> meta-block -> match, legacy vs array.
+
+    Every stage asserts the two engines produce identical outputs; the
+    headline ``pipeline_speedup`` covers the enumerate+evaluate+
+    meta-block chain (matching is reported separately because its
+    legacy column is capped at MATCH_PAIR_CAP pairs).
+    """
+    # Ground truth caches are shared by both engines; warm them so the
+    # evaluate stage times the measure computation, not the one-off
+    # truth derivation.
+    dataset.true_matches, dataset.true_match_keys  # noqa: B018
+
+    fresh = lambda: BlockingResult("lsh", blocks)  # noqa: E731
+    legacy_pairs, legacy_enum_seconds = _timed(
+        lambda: fresh().distinct_pairs_legacy(), repeats=2
+    )
+    pair_keys, array_enum_seconds = _timed(
+        lambda: fresh().pair_keys(dataset), repeats=3
+    )
+    num_pairs = int(pair_keys.size)
+    result = fresh()
+    assert result.distinct_pairs == legacy_pairs, (
+        "array and legacy pair enumeration disagree — equivalence broken"
+    )
+
+    # Warm the result-level pair caches so the evaluate stage isolates
+    # the intersection + measure arithmetic for both engines.
+    result.pair_keys(dataset), result.distinct_pairs  # noqa: B018
+    legacy_metrics, legacy_eval_seconds = _timed(
+        lambda: evaluate_blocks(result, dataset, engine="legacy"), repeats=2
+    )
+    array_metrics, array_eval_seconds = _timed(
+        lambda: evaluate_blocks(result, dataset), repeats=3
+    )
+    assert array_metrics == legacy_metrics, (
+        "array and legacy evaluation disagree — equivalence broken"
+    )
+
+    legacy_meta, legacy_meta_seconds = _timed(
+        lambda: run_metablocking(
+            result, PIPELINE_SCHEME, PIPELINE_ALGORITHM, engine="legacy"
+        ),
+        repeats=1,
+    )
+    array_meta, array_meta_seconds = _timed(
+        lambda: run_metablocking(result, PIPELINE_SCHEME, PIPELINE_ALGORITHM),
+        repeats=2,
+    )
+    assert array_meta.blocks == legacy_meta.blocks, (
+        "array and legacy meta-blocking disagree — equivalence broken"
+    )
+
+    match_pairs = list(array_meta.blocks)[:MATCH_PAIR_CAP]
+    matcher = SimilarityMatcher(
+        {"first_name": "jaccard_q2", "last_name": "jaccard_q2"},
+        match_threshold=0.85,
+        possible_threshold=0.65,
+    )
+    matcher.score_pairs(dataset, match_pairs[:64])  # warm attribute caches
+    legacy_decisions, legacy_match_seconds = _timed(
+        lambda: matcher.match_pairs(dataset, match_pairs, batch=False),
+        repeats=1,
+    )
+    array_decisions, array_match_seconds = _timed(
+        lambda: matcher.match_pairs(dataset, match_pairs), repeats=2
+    )
+    assert array_decisions == legacy_decisions, (
+        "batch and per-pair matching disagree — equivalence broken"
+    )
+
+    legacy_total = legacy_enum_seconds + legacy_eval_seconds + legacy_meta_seconds
+    array_total = array_enum_seconds + array_eval_seconds + array_meta_seconds
+    return {
+        "num_candidate_pairs": num_pairs,
+        "retained_pairs": len(array_meta.blocks),
+        "scheme": PIPELINE_SCHEME,
+        "algorithm": PIPELINE_ALGORITHM,
+        "enumerate": _stage(legacy_enum_seconds, array_enum_seconds, num_pairs),
+        "evaluate": _stage(legacy_eval_seconds, array_eval_seconds, num_pairs),
+        "metablock": _stage(legacy_meta_seconds, array_meta_seconds, num_pairs),
+        "match": {
+            **_stage(
+                legacy_match_seconds, array_match_seconds, len(match_pairs)
+            ),
+            "pairs_scored": len(match_pairs),
+            "num_matches": sum(
+                1 for d in array_decisions if d.label == "match"
+            ),
+        },
+        "legacy_pipeline_seconds": round(legacy_total, 4),
+        "array_pipeline_seconds": round(array_total, 4),
+        "legacy_pipeline_pairs_per_sec": round(num_pairs / max(legacy_total, 1e-9), 1),
+        "array_pipeline_pairs_per_sec": round(num_pairs / max(array_total, 1e-9), 1),
+        "pipeline_speedup": round(max(legacy_total, 1e-9) / max(array_total, 1e-9), 2),
+    }
+
+
 #: Survey baselines on the batch key-extraction path, near-linear cost —
 #: safe to time at 50k+. QGr/canopy/StringMap also run on the batch key
 #: path but their per-key expansion is super-linear, so the 50k ladder
@@ -187,6 +322,7 @@ def run_perf() -> dict:
     warmup = NCVoterLikeGenerator(num_records=200, seed=SEED + 1).generate()
     for n in sizes():
         dataset = NCVoterLikeGenerator(num_records=n, seed=SEED).generate()
+        blocks = voter_lsh(batch=True, k=PIPELINE_K).block(dataset).blocks
         report["sizes"][str(n)] = {
             "lsh": _run_engine_pair(
                 lambda **kw: voter_lsh(**kw), dataset, warmup, stream=True
@@ -195,8 +331,26 @@ def run_perf() -> dict:
                 lambda **kw: voter_salsh(**kw), dataset, warmup, stream=False
             ),
             "baselines": _run_baselines(dataset),
+            "pair_pipeline": _run_pair_pipeline(dataset, blocks),
         }
     return report
+
+
+def check_pair_pipeline(report: dict) -> None:
+    """Guard against a silent fallback to the legacy per-pair path.
+
+    Every ladder size must carry the end-to-end columns with a real
+    win; the committed 10k/50k run demonstrates the >= 10x headline,
+    while CI smoke sizes only assert >= 1x to stay timing-robust.
+    """
+    for n, entry in report["sizes"].items():
+        pipeline = entry.get("pair_pipeline")
+        assert pipeline is not None, f"size {n}: pair_pipeline columns missing"
+        speedup = pipeline.get("pipeline_speedup")
+        assert speedup is not None and speedup >= 1.0, (
+            f"size {n}: pair-pipeline speedup {speedup!r} < 1 — "
+            "array engine fell back to legacy-path performance"
+        )
 
 
 def _persist(report: dict) -> None:
@@ -240,6 +394,30 @@ def _persist(report: dict) -> None:
             title="Perf — survey baselines on the batch key path",
         ),
     )
+    pipeline_rows = []
+    for n, entry in report["sizes"].items():
+        pipeline = entry["pair_pipeline"]
+        pipeline_rows.append([
+            n,
+            pipeline["num_candidate_pairs"],
+            pipeline["enumerate"]["speedup"],
+            pipeline["evaluate"]["speedup"],
+            pipeline["metablock"]["speedup"],
+            pipeline["match"]["speedup"],
+            pipeline["array_pipeline_pairs_per_sec"],
+            pipeline["pipeline_speedup"],
+        ])
+    write_result(
+        "perf_pair_pipeline",
+        format_table(
+            ["records", "pairs", "enum.x", "eval.x", "meta.x", "match.x",
+             "pairs/s(array)", "pipeline.x"],
+            pipeline_rows,
+            title="Perf — candidate-pair pipeline, legacy vs array "
+                  f"({PIPELINE_SCHEME}+{PIPELINE_ALGORITHM}, "
+                  "speedups per stage)",
+        ),
+    )
     print(f"[written to {RESULT_JSON.name}]")
 
 
@@ -255,11 +433,13 @@ def test_perf_blocking(benchmark):
             # Parallel/streamed equivalence is asserted inside the run;
             # parallel *speedup* is only meaningful with spare cores, so
             # it is recorded (with cpu_count) rather than asserted here.
+    check_pair_pipeline(report)
 
 
 def main() -> int:
     report = run_perf()
     _persist(report)
+    check_pair_pipeline(report)
     return 0
 
 

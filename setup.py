@@ -24,7 +24,9 @@ setup(
     python_requires=">=3.10",
     package_dir={"": "src"},
     packages=find_packages("src"),
-    install_requires=["numpy"],
+    # numpy >= 2.0: the batch matcher popcounts bitsets with
+    # np.bitwise_count, introduced in 2.0.
+    install_requires=["numpy>=2.0"],
     extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
     entry_points={"console_scripts": ["repro = repro.cli:main"]},
 )

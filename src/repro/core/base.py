@@ -2,15 +2,46 @@
 
 from __future__ import annotations
 
+import weakref
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Any, Mapping, Sequence
 
+import numpy as np
+
 from repro.records.dataset import Dataset
 from repro.records.ground_truth import Pair, sorted_pair
+from repro.records.pairs import (
+    decode_pair_keys,
+    encode_pair_keys,
+    enumerate_csr_pairs,
+    pairs_from_keys,
+    unique_pair_keys,
+)
 
 Block = tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class BlockArrays:
+    """CSR array form of a block collection over a local id vocabulary.
+
+    ``ids`` is the sorted list of distinct record ids appearing in any
+    block; block ``b`` holds the vocabulary positions
+    ``indices[offsets[b]:offsets[b + 1]]`` (``int32``, duplicates
+    preserved). Because the vocabulary is sorted, position order equals
+    lexicographic id order, which makes pair keys over these indices
+    decode directly into canonical ``sorted_pair`` tuples.
+    """
+
+    ids: list[str]
+    offsets: np.ndarray
+    indices: np.ndarray
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.offsets) - 1
 
 
 @dataclass(frozen=True)
@@ -36,9 +67,51 @@ class BlockingResult:
     seconds: float | None = None
     metadata: Mapping[str, Any] = field(default_factory=dict)
 
+    def _flat_ids_and_offsets(self) -> tuple[list[str], np.ndarray]:
+        """Concatenated block member ids and their CSR offsets."""
+        flat = [rid for block in self.blocks for rid in block]
+        offsets = np.zeros(len(self.blocks) + 1, dtype=np.int64)
+        if self.blocks:
+            np.cumsum([len(b) for b in self.blocks], out=offsets[1:])
+        return flat, offsets
+
+    @cached_property
+    def local_arrays(self) -> BlockArrays:
+        """Array (CSR) form of the blocks over the local id vocabulary."""
+        flat, offsets = self._flat_ids_and_offsets()
+        if not flat:
+            return BlockArrays(
+                ids=[], offsets=offsets, indices=np.empty(0, dtype=np.int32)
+            )
+        vocab, inverse = np.unique(np.asarray(flat), return_inverse=True)
+        return BlockArrays(
+            ids=vocab.tolist(),
+            offsets=offsets,
+            indices=inverse.astype(np.int32),
+        )
+
+    @cached_property
+    def pair_keys_local(self) -> np.ndarray:
+        """Γ as sorted ``uint64`` pair keys over the local vocabulary."""
+        arrays = self.local_arrays
+        left, right = enumerate_csr_pairs(arrays.offsets, arrays.indices)
+        return unique_pair_keys(left, right)
+
     @cached_property
     def distinct_pairs(self) -> frozenset[Pair]:
-        """Γ — distinct candidate pairs across all blocks."""
+        """Γ — distinct candidate pairs across all blocks.
+
+        Compatibility view: decodes :attr:`pair_keys_local` back to id
+        tuples (the sorted local vocabulary makes them canonical).
+        """
+        return frozenset(pairs_from_keys(self.pair_keys_local, self.local_arrays.ids))
+
+    def distinct_pairs_legacy(self) -> frozenset[Pair]:
+        """Γ via the original per-block Python loops (uncached).
+
+        Kept as the reference implementation for the equivalence suite
+        and the perf benchmark's legacy column.
+        """
         pairs: set[Pair] = set()
         for block in self.blocks:
             for i, first in enumerate(block):
@@ -46,6 +119,39 @@ class BlockingResult:
                     if first != second:
                         pairs.add(sorted_pair(first, second))
         return frozenset(pairs)
+
+    @cached_property
+    def _per_dataset_cache(self) -> "weakref.WeakKeyDictionary[Dataset, np.ndarray]":
+        # Weak keys: cached encodings die with their dataset instead of
+        # pinning whole corpora to a long-lived result.
+        return weakref.WeakKeyDictionary()
+
+    def pair_keys(self, dataset: Dataset) -> np.ndarray:
+        """Γ as sorted ``uint64`` pair keys over the dataset's id codec.
+
+        Reuses the cached local enumeration when one exists (one
+        ``encode_ids`` over the vocabulary plus a translation);
+        otherwise encodes the blocks straight through the dataset codec
+        — the evaluation path never needs the local string vocabulary.
+        Raises :class:`~repro.errors.DatasetError` when a block
+        references an id outside the dataset.
+        """
+        cached = self._per_dataset_cache.get(dataset)
+        if cached is not None:
+            return cached
+        if "pair_keys_local" in self.__dict__:
+            codes = dataset.encode_ids(self.local_arrays.ids)
+            lo, hi = decode_pair_keys(self.pair_keys_local)
+            if lo.size:
+                keys = np.sort(encode_pair_keys(codes[lo], codes[hi]))
+            else:
+                keys = np.empty(0, dtype=np.uint64)
+        else:
+            flat, offsets = self._flat_ids_and_offsets()
+            indices = dataset.encode_ids(flat)
+            keys = unique_pair_keys(*enumerate_csr_pairs(offsets, indices))
+        self._per_dataset_cache[dataset] = keys
+        return keys
 
     @property
     def num_multiset_comparisons(self) -> int:

@@ -16,8 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.base import BlockingResult
-from repro.errors import EvaluationError
+from repro.errors import DatasetError, EvaluationError
 from repro.records.dataset import Dataset
 
 
@@ -53,22 +55,83 @@ class BlockingMetrics:
         )
 
 
-def evaluate_blocks(result: BlockingResult, dataset: Dataset) -> BlockingMetrics:
-    """Score a blocking result against the dataset's ground truth."""
+def evaluate_blocks(
+    result: BlockingResult, dataset: Dataset, *, engine: str = "array"
+) -> BlockingMetrics:
+    """Score a blocking result against the dataset's ground truth.
+
+    The default ``array`` engine intersects the result's encoded
+    ``uint64`` pair keys with the dataset's cached ``true_match_keys``
+    (no Python pair sets); ``engine="legacy"`` runs the original
+    set-based path, kept as the equivalence/benchmark reference.
+    """
+    if engine == "array":
+        return _evaluate_array(result, dataset)
+    if engine == "legacy":
+        return _evaluate_legacy(result, dataset)
+    raise EvaluationError(f"unknown evaluation engine {engine!r}")
+
+
+def count_common_keys(sorted_keys: np.ndarray, probe_keys: np.ndarray) -> int:
+    """|A ∩ B| for two sorted unique key arrays, probing the smaller.
+
+    ``np.searchsorted`` membership is O(|B| log |A|) — unlike
+    ``np.intersect1d``, which re-sorts the concatenation of both sides.
+    """
+    if not sorted_keys.size or not probe_keys.size:
+        return 0
+    if probe_keys.size > sorted_keys.size:
+        sorted_keys, probe_keys = probe_keys, sorted_keys
+    positions = np.searchsorted(sorted_keys, probe_keys)
+    positions = np.minimum(positions, sorted_keys.size - 1)
+    return int((sorted_keys[positions] == probe_keys).sum())
+
+
+def _evaluate_array(result: BlockingResult, dataset: Dataset) -> BlockingMetrics:
+    # No membership pre-check: unknown block ids surface as encode
+    # errors from the dataset codec.
+    try:
+        candidate_keys = result.pair_keys(dataset)
+    except DatasetError as exc:
+        raise EvaluationError(f"block references unknown record: {exc}") from None
+    truth_keys = dataset.true_match_keys
+    true_positives = count_common_keys(candidate_keys, truth_keys)
+    return _metrics_from_counts(
+        result,
+        dataset,
+        true_positives=true_positives,
+        total_true=int(truth_keys.size),
+        num_distinct=int(candidate_keys.size),
+    )
+
+
+def _evaluate_legacy(result: BlockingResult, dataset: Dataset) -> BlockingMetrics:
     for block in result.blocks:
         for record_id in block:
             if record_id not in dataset:
                 raise EvaluationError(
                     f"block references unknown record {record_id!r}"
                 )
-
     candidate_pairs = result.distinct_pairs
     true_matches = dataset.true_matches
-    true_positives = len(candidate_pairs & true_matches)
+    return _metrics_from_counts(
+        result,
+        dataset,
+        true_positives=len(candidate_pairs & true_matches),
+        total_true=len(true_matches),
+        num_distinct=len(candidate_pairs),
+    )
 
-    total_true = len(true_matches)
+
+def _metrics_from_counts(
+    result: BlockingResult,
+    dataset: Dataset,
+    *,
+    true_positives: int,
+    total_true: int,
+    num_distinct: int,
+) -> BlockingMetrics:
     total_pairs = dataset.total_pairs
-    num_distinct = len(candidate_pairs)
     num_multiset = result.num_multiset_comparisons
 
     pc = true_positives / total_true if total_true else 0.0

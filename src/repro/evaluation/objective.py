@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.base import BlockingResult
-from repro.errors import EvaluationError
+from repro.errors import DatasetError, EvaluationError
 from repro.records.dataset import Dataset
 
 
@@ -50,16 +50,28 @@ def blocking_objective(
     if not 0.0 <= epsilon <= 1.0:
         raise EvaluationError(f"epsilon must be in [0, 1], got {epsilon}")
 
-    candidates = result.distinct_pairs
-    truth = dataset.true_matches
-    true_positives = len(candidates & truth)
+    try:
+        keys = result.pair_keys(dataset)
+    except DatasetError:
+        # Blocks referencing ids outside the dataset keep the original
+        # set semantics (foreign pairs count as candidates, never as
+        # true positives).
+        candidates = result.distinct_pairs
+        num_candidates = len(candidates)
+        true_positives = len(candidates & dataset.true_matches)
+    else:
+        from repro.evaluation.metrics import count_common_keys
 
+        num_candidates = int(keys.size)
+        true_positives = count_common_keys(keys, dataset.true_match_keys)
+
+    total_true = dataset.num_true_matches
     non_match_share = (
-        (len(candidates) - true_positives) / len(candidates)
-        if candidates
+        (num_candidates - true_positives) / num_candidates
+        if num_candidates
         else 0.0
     )
-    match_loss = 1.0 - (true_positives / len(truth) if truth else 1.0)
+    match_loss = 1.0 - (true_positives / total_true if total_true else 1.0)
     return ObjectiveValue(
         non_match_share=non_match_share,
         match_loss=match_loss,

@@ -6,6 +6,13 @@
 * EJS  — Enhanced JS: JS · log(|E|/|v_i|) · log(|E|/|v_j|).
 * ARCS — Aggregate Reciprocal Comparisons: Σ_{b ∈ B_i ∩ B_j} 1/||b||,
   with ||b|| the comparisons in block b.
+
+:func:`edge_weight` scores one edge (the legacy per-pair path);
+:func:`compute_weights` scores an :class:`ArrayBlockingGraph`'s whole
+edge list at once. The array path evaluates the per-record ``log``
+factors of ECBS/EJS with ``math.log`` (one call per record, not per
+edge) so its weights are bitwise identical to the legacy path, then
+combines them as whole-array expressions over the edge list.
 """
 
 from __future__ import annotations
@@ -13,9 +20,12 @@ from __future__ import annotations
 import math
 from typing import AbstractSet, Sequence
 
-from repro.errors import ConfigurationError
+import numpy as np
 
-#: Scheme names accepted by :func:`edge_weight`.
+from repro.errors import ConfigurationError
+from repro.metablocking.graph import ArrayBlockingGraph
+
+#: Scheme names accepted by :func:`edge_weight` / :func:`compute_weights`.
 WEIGHT_SCHEMES = ("ARCS", "CBS", "ECBS", "JS", "EJS")
 
 
@@ -57,13 +67,64 @@ def edge_weight(
         factor_b = math.log(max(total_edges / degree_b, 1.0))
         return js * factor_a * factor_b
     if scheme == "ARCS":
+        # Ascending block order, matching the array engine's reduceat,
+        # so both paths accumulate in the same float order.
         weight = 0.0
-        for block_index in common:
+        for block_index in sorted(common):
             size = block_sizes[block_index]
             comparisons = size * (size - 1) / 2
             if comparisons > 0:
                 weight += 1.0 / comparisons
         return weight
+    raise ConfigurationError(
+        f"unknown weighting scheme {scheme!r}; known: {WEIGHT_SCHEMES}"
+    )
+
+
+def _log_table(values: np.ndarray, transform) -> np.ndarray:
+    """Per-record ``math.log`` factors (bit-compatible with the legacy path)."""
+    return np.fromiter(
+        (transform(v) for v in values.tolist()),
+        dtype=np.float64,
+        count=values.size,
+    )
+
+
+def compute_weights(graph: ArrayBlockingGraph, scheme: str) -> np.ndarray:
+    """Weights of the whole edge list under one scheme (float64).
+
+    Aligned with ``graph.edge_keys``; every scheme is one whole-array
+    expression over the precomputed co-occurrence statistics.
+    """
+    cbs = graph.common_blocks
+    if scheme == "CBS":
+        return cbs.copy()
+    if scheme == "ECBS":
+        num_blocks = graph.num_blocks
+        table = _log_table(
+            graph.blocks_per_record,
+            lambda count: math.log(num_blocks / count) if count else 0.0,
+        )
+        return cbs * table[graph.edge_left] * table[graph.edge_right]
+    if scheme == "JS" or scheme == "EJS":
+        blocks_per = graph.blocks_per_record
+        union = blocks_per[graph.edge_left] + blocks_per[graph.edge_right] - cbs
+        js = np.zeros_like(cbs)
+        np.divide(cbs, union, out=js, where=union > 0)
+        if scheme == "JS":
+            return js
+        total_edges = graph.num_edges
+        if total_edges == 0:
+            return js
+        table = _log_table(
+            graph.node_degrees,
+            lambda degree: (
+                math.log(max(total_edges / degree, 1.0)) if degree else 0.0
+            ),
+        )
+        return js * table[graph.edge_left] * table[graph.edge_right]
+    if scheme == "ARCS":
+        return graph.arcs.copy()
     raise ConfigurationError(
         f"unknown weighting scheme {scheme!r}; known: {WEIGHT_SCHEMES}"
     )

@@ -8,6 +8,13 @@ from repro.records.ground_truth import (
     true_match_pairs,
 )
 from repro.records.io import read_csv, read_pairs_csv, write_csv, write_pairs_csv
+from repro.records.pairs import (
+    decode_pair_keys,
+    encode_pair_keys,
+    enumerate_csr_pairs,
+    pairs_from_keys,
+    unique_pair_keys,
+)
 
 __all__ = [
     "Record",
@@ -15,6 +22,11 @@ __all__ = [
     "sorted_pair",
     "true_match_pairs",
     "entity_clusters",
+    "encode_pair_keys",
+    "decode_pair_keys",
+    "pairs_from_keys",
+    "enumerate_csr_pairs",
+    "unique_pair_keys",
     "read_csv",
     "write_csv",
     "read_pairs_csv",

@@ -10,6 +10,8 @@ from __future__ import annotations
 from functools import cached_property
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.errors import DatasetError
 from repro.records.ground_truth import Pair, entity_clusters, true_match_pairs
 from repro.records.record import Record
@@ -59,7 +61,46 @@ class Dataset:
 
     @property
     def record_ids(self) -> list[str]:
+        return list(self._ids)
+
+    # -- integer id codec -----------------------------------------------------
+
+    @cached_property
+    def _index_by_id(self) -> dict[str, int]:
+        return {r.record_id: i for i, r in enumerate(self._records)}
+
+    @cached_property
+    def _ids(self) -> list[str]:
         return [r.record_id for r in self._records]
+
+    def index_of(self, record_id: str) -> int:
+        """Contiguous ``int`` index of a record (dataset order)."""
+        try:
+            return self._index_by_id[record_id]
+        except KeyError:
+            raise DatasetError(f"no record with id {record_id!r}") from None
+
+    def encode_ids(self, record_ids: Iterable[str]) -> np.ndarray:
+        """Record ids -> contiguous ``int32`` indices (dataset order).
+
+        Raises
+        ------
+        DatasetError
+            If any id does not belong to the dataset.
+        """
+        index = self._index_by_id
+        count = len(record_ids) if hasattr(record_ids, "__len__") else -1
+        try:
+            return np.fromiter(
+                (index[rid] for rid in record_ids), dtype=np.int32, count=count
+            )
+        except KeyError as exc:
+            raise DatasetError(f"no record with id {exc.args[0]!r}") from None
+
+    def decode_ids(self, indices: Iterable[int]) -> list[str]:
+        """Inverse of :meth:`encode_ids`."""
+        ids = self._ids
+        return [ids[i] for i in np.asarray(indices).tolist()]
 
     # -- ground truth ---------------------------------------------------------
 
@@ -69,19 +110,70 @@ class Dataset:
         return true_match_pairs(self._records)
 
     @cached_property
+    def true_match_keys(self) -> np.ndarray:
+        """``Ωtp`` as sorted ``uint64`` pair keys over the id codec.
+
+        Derived directly from the entity clusters (no Python pair set),
+        and cached so repeated evaluations — tuning sweeps, the
+        evaluation runner — never re-derive the ground truth.
+        """
+        from repro.records.pairs import enumerate_csr_pairs, unique_pair_keys
+
+        index = self._index_by_id
+        members = [
+            [index[rid] for rid in cluster]
+            for cluster in self.clusters.values()
+            if len(cluster) >= 2
+        ]
+        if not members:
+            return np.empty(0, dtype=np.uint64)
+        offsets = np.zeros(len(members) + 1, dtype=np.int64)
+        np.cumsum([len(m) for m in members], out=offsets[1:])
+        indices = np.fromiter(
+            (i for m in members for i in m), dtype=np.int32, count=int(offsets[-1])
+        )
+        left, right = enumerate_csr_pairs(offsets, indices)
+        return unique_pair_keys(left, right)
+
+    @cached_property
     def clusters(self) -> dict[str, list[str]]:
         """Record ids grouped by ground-truth entity."""
         return entity_clusters(self._records)
 
     @property
     def num_true_matches(self) -> int:
-        return len(self.true_matches)
+        return int(self.true_match_keys.size)
 
     @property
     def total_pairs(self) -> int:
         """``|Ω|``: the number of distinct record pairs in the dataset."""
         n = len(self._records)
         return n * (n - 1) // 2
+
+    # -- attribute columns ----------------------------------------------------
+
+    @cached_property
+    def _attribute_codes(self) -> dict[str, tuple[np.ndarray, list[str]]]:
+        return {}
+
+    def attribute_codes(self, attribute: str) -> tuple[np.ndarray, list[str]]:
+        """``(codes, uniques)`` factorization of one attribute column.
+
+        ``codes[i]`` indexes into ``uniques`` (sorted distinct values);
+        cached per attribute so batch matchers gather each column once.
+        """
+        cached = self._attribute_codes.get(attribute)
+        if cached is None:
+            values = np.asarray(
+                [r.get(attribute) for r in self._records], dtype=object
+            )
+            if values.size:
+                uniques, codes = np.unique(values, return_inverse=True)
+                cached = (codes.astype(np.int64), uniques.tolist())
+            else:
+                cached = (np.empty(0, dtype=np.int64), [])
+            self._attribute_codes[attribute] = cached
+        return cached
 
     def is_true_match(self, id1: str, id2: str) -> bool:
         """True when both records are labelled with the same entity."""
