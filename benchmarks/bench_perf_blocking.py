@@ -1,15 +1,18 @@
-"""Perf benchmark — per-record vs batch vs parallel vs streamed engines.
+"""Perf benchmark — per-record vs batch vs parallel vs streamed vs
+sharded engines.
 
 Times LSH and SA-LSH blocking on synthetic NC-Voter at 10k/50k records
 (the paper's §6.1 voter parameters q=2, k=9, l=15) under the per-record
-and batch engines, the batch engine with ``workers`` threads, and (for
-LSH) the slab-streamed path with a memory-mapped signature spill. A
-fourth section times the survey baselines that run on the batch
-key-extraction path (TBlo, SorA, SorII, SuA) at the same sizes, so the
-techniques the survey calls "blocking one record at a time" finally
-appear on the same 50k+ axis. Results land in
-``BENCH_perf_blocking.json`` at the repo root so future PRs have a perf
-trajectory to compare against.
+and batch engines, the batch engine with ``workers`` threads, the
+process-sharded runtime (``processes`` worker processes: record-slab
+signatures + band-sharded grouping), the slab-streamed LSH path with a
+memory-mapped signature spill, and the streamed SA-LSH path (encoder
+frozen from the full corpus, growable spill). A further section times
+the survey baselines that run on the batch key-extraction path (TBlo,
+SorA, SorII, SuA) at the same sizes, so the techniques the survey calls
+"blocking one record at a time" finally appear on the same 50k+ axis.
+Results land in ``BENCH_perf_blocking.json`` at the repo root so future
+PRs have a perf trajectory to compare against.
 
 A fifth section times the downstream *pair pipeline* over the LSH
 blocks — candidate-pair enumeration, PC/PQ/RR/FM evaluation,
@@ -32,6 +35,9 @@ Environment knobs (see benchmarks/README.md):
 * ``REPRO_BENCH_WORKERS=4`` — thread count of the parallel run
   (default 4; the recorded ``cpu_count`` tells you whether the host
   could actually exploit it);
+* ``REPRO_BENCH_PROCESSES=4`` — process count of the sharded run
+  (default 4; same caveat — the ≥2× multicore headline only holds on
+  ≥4-core hosts, single-core hosts pay pool overhead and record it);
 * ``REPRO_BENCH_SCALE=paper`` keeps the default ladder.
 """
 
@@ -56,7 +62,8 @@ from repro.datasets import NCVoterLikeGenerator
 from repro.er import SimilarityMatcher
 from repro.evaluation import evaluate_blocks, format_table
 from repro.metablocking import run_metablocking
-from repro.minhash import open_signature_memmap
+from repro.minhash import GrowableSignatureSpill, open_signature_memmap
+from repro.semantic import SemhashEncoder
 
 from _shared import (
     SEED,
@@ -68,6 +75,13 @@ from _shared import (
 
 DEFAULT_SIZES = (10_000, 50_000)
 DEFAULT_WORKERS = 4
+DEFAULT_PROCESSES = 4
+#: The multicore sharded-speedup headline (vs the serial batch engine)
+#: is only asserted at this ladder size and on hosts with this many
+#: cores; below either threshold the column is recorded, not asserted.
+SHARDED_HEADLINE_SIZE = 50_000
+SHARDED_HEADLINE_CORES = 4
+SHARDED_HEADLINE_SPEEDUP = 2.0
 #: Streamed runs cut the corpus into this many record slabs.
 STREAM_SLABS = 8
 #: Pair-pipeline meta-blocking configuration (per-node pruning is the
@@ -95,6 +109,10 @@ def bench_workers() -> int:
     return int(os.environ.get("REPRO_BENCH_WORKERS", str(DEFAULT_WORKERS)))
 
 
+def bench_processes() -> int:
+    return int(os.environ.get("REPRO_BENCH_PROCESSES", str(DEFAULT_PROCESSES)))
+
+
 def _timed(run, *, repeats: int):
     """Best-of-``repeats`` wall time (standard throughput practice)."""
     best = None
@@ -107,7 +125,9 @@ def _timed(run, *, repeats: int):
     return result, best
 
 
-def _run_engine_pair(make_blocker, dataset, warmup_dataset, *, stream: bool) -> dict:
+def _run_engine_pair(
+    make_blocker, dataset, warmup_dataset, *, stream: str | None
+) -> dict:
     # One small warmup per engine: fills the process-wide SHA-1 memo
     # and numpy's lazily-initialised kernels so both engines are timed
     # at steady-state throughput.
@@ -132,6 +152,15 @@ def _run_engine_pair(make_blocker, dataset, warmup_dataset, *, stream: bool) -> 
         "parallel and serial batch engines disagree — equivalence broken"
     )
 
+    processes = bench_processes()
+    sharded_result, sharded_seconds = _timed(
+        lambda: make_blocker(batch=True, processes=processes).block(dataset),
+        repeats=2,
+    )
+    assert sharded_result.blocks == batch_result.blocks, (
+        "sharded and serial batch engines disagree — equivalence broken"
+    )
+
     n = len(dataset)
     stats = {
         "num_blocks": batch_result.num_blocks,
@@ -144,12 +173,22 @@ def _run_engine_pair(make_blocker, dataset, warmup_dataset, *, stream: bool) -> 
         "workers_seconds": round(parallel_seconds, 4),
         "workers_records_per_sec": round(n / parallel_seconds, 1),
         "parallel_speedup": round(batch_seconds / parallel_seconds, 2),
+        "processes": processes,
+        "sharded_seconds": round(sharded_seconds, 4),
+        "sharded_records_per_sec": round(n / sharded_seconds, 1),
+        # Guard column: the sharded runtime must stay ahead of the
+        # per-record legacy floor on any host.
+        "sharded_speedup": round(legacy_seconds / sharded_seconds, 2),
+        # Headline column: multicore scaling vs the serial batch
+        # engine; ≥2× expected at 50k on ≥4-core hosts, recorded (with
+        # cpu_count) on smaller hosts.
+        "sharded_parallel_speedup": round(batch_seconds / sharded_seconds, 2),
     }
 
-    if stream:
-        records = list(dataset)
-        slab = max(1, len(records) // STREAM_SLABS)
-        slabs = [records[i : i + slab] for i in range(0, len(records), slab)]
+    records = list(dataset)
+    slab = max(1, len(records) // STREAM_SLABS)
+    slabs = [records[i : i + slab] for i in range(0, len(records), slab)]
+    if stream == "lsh":
         blocker = make_blocker(batch=True, workers=workers)
         with tempfile.TemporaryDirectory() as spill_dir:
             spill = Path(spill_dir) / "signatures.npy"
@@ -168,6 +207,52 @@ def _run_engine_pair(make_blocker, dataset, warmup_dataset, *, stream: bool) -> 
             {
                 "streamed_seconds": round(streamed_seconds, 4),
                 "streamed_records_per_sec": round(n / streamed_seconds, 1),
+                "stream_slabs": len(slabs),
+            }
+        )
+    elif stream == "salsh":
+        # Streamed SA-LSH: encoder frozen from the full corpus (the
+        # equivalence configuration) + growable spill — the unknown-
+        # length streaming path of DESIGN.md, "Process-sharded
+        # streaming runtime".
+        blocker = make_blocker(batch=True, workers=workers)
+        with tempfile.TemporaryDirectory() as spill_dir:
+            spill_path = Path(spill_dir) / "salsh-signatures.npy"
+
+            def run_streamed_salsh():
+                # The encoder freeze (one interpretation pass over the
+                # corpus) is timed: the per-record floor this column is
+                # guarded against pays the same interpretation work
+                # inside block(), so excluding it here would let a
+                # regressed streamed engine hide behind a warm cache.
+                encoder = SemhashEncoder(blocker.semantic_function, dataset)
+                spill = GrowableSignatureSpill(
+                    spill_path, blocker.hasher.num_hashes
+                )
+                result = blocker.block_stream(
+                    iter(slabs), encoder=encoder, signatures_out=spill
+                )
+                spill.finalize()
+                return result
+
+            streamed_result, streamed_seconds = _timed(
+                run_streamed_salsh, repeats=2
+            )
+        assert streamed_result.blocks == batch_result.blocks, (
+            "streamed SA-LSH and in-memory blocking disagree — "
+            "equivalence broken"
+        )
+        stats.update(
+            {
+                "streamed_salsh_seconds": round(streamed_seconds, 4),
+                "streamed_salsh_records_per_sec": round(
+                    n / streamed_seconds, 1
+                ),
+                # Guard column: streamed SA-LSH must beat the
+                # per-record legacy floor (no silent fallback).
+                "streamed_salsh_speedup": round(
+                    legacy_seconds / streamed_seconds, 2
+                ),
                 "stream_slabs": len(slabs),
             }
         )
@@ -325,10 +410,10 @@ def run_perf() -> dict:
         blocks = voter_lsh(batch=True, k=PIPELINE_K).block(dataset).blocks
         report["sizes"][str(n)] = {
             "lsh": _run_engine_pair(
-                lambda **kw: voter_lsh(**kw), dataset, warmup, stream=True
+                lambda **kw: voter_lsh(**kw), dataset, warmup, stream="lsh"
             ),
             "salsh": _run_engine_pair(
-                lambda **kw: voter_salsh(**kw), dataset, warmup, stream=False
+                lambda **kw: voter_salsh(**kw), dataset, warmup, stream="salsh"
             ),
             "baselines": _run_baselines(dataset),
             "pair_pipeline": _run_pair_pipeline(dataset, blocks),
@@ -353,6 +438,45 @@ def check_pair_pipeline(report: dict) -> None:
         )
 
 
+def check_sharded_stream(report: dict) -> None:
+    """Guard the sharded and streamed-SA-LSH columns.
+
+    Mirrors :func:`check_pair_pipeline`: the columns must exist at
+    every ladder size and may never fall below the per-record legacy
+    floor (a <1 ratio would mean the new runtime is slower than the
+    path it replaced — a silent regression). The ≥2× multicore headline
+    vs the *serial batch* engine is additionally asserted at 50k when
+    the host actually has ≥4 cores; on smaller hosts it is recorded
+    alongside ``cpu_count`` for the next multicore run to check.
+    """
+    cores = report.get("cpu_count") or 1
+    for n, entry in report["sizes"].items():
+        for technique in ("lsh", "salsh"):
+            stats = entry[technique]
+            speedup = stats.get("sharded_speedup")
+            assert speedup is not None and speedup >= 1.0, (
+                f"size {n} {technique}: sharded speedup {speedup!r} < 1 — "
+                "process sharding fell below the per-record floor"
+            )
+            if (
+                cores >= SHARDED_HEADLINE_CORES
+                and int(n) >= SHARDED_HEADLINE_SIZE
+            ):
+                parallel = stats.get("sharded_parallel_speedup")
+                assert parallel is not None and parallel >= (
+                    SHARDED_HEADLINE_SPEEDUP
+                ), (
+                    f"size {n} {technique}: sharded multicore speedup "
+                    f"{parallel!r} < {SHARDED_HEADLINE_SPEEDUP} on a "
+                    f"{cores}-core host"
+                )
+        streamed = entry["salsh"].get("streamed_salsh_speedup")
+        assert streamed is not None and streamed >= 1.0, (
+            f"size {n}: streamed SA-LSH speedup {streamed!r} < 1 — "
+            "streaming fell below the per-record floor"
+        )
+
+
 def _persist(report: dict) -> None:
     RESULT_JSON.write_text(json.dumps(report, indent=2) + "\n")
     rows = []
@@ -365,20 +489,25 @@ def _persist(report: dict) -> None:
                 stats["per_record_seconds"],
                 stats["batch_seconds"],
                 stats["workers_seconds"],
-                stats.get("streamed_seconds", "-"),
+                stats["sharded_seconds"],
+                stats.get(
+                    "streamed_seconds", stats.get("streamed_salsh_seconds", "-")
+                ),
                 stats["batch_records_per_sec"],
                 stats["speedup"],
                 stats["parallel_speedup"],
+                stats["sharded_parallel_speedup"],
             ])
     write_result(
         "perf_blocking",
         format_table(
             ["records", "blocker", "t(loop)s", "t(batch)s",
-             f"t(w={bench_workers()})s", "t(stream)s",
-             "rec/s(batch)", "speedup", "par.speedup"],
+             f"t(w={bench_workers()})s", f"t(p={bench_processes()})s",
+             "t(stream)s", "rec/s(batch)", "speedup", "par.speedup",
+             "shard.speedup"],
             rows,
-            title="Perf — per-record vs batch vs parallel vs streamed "
-                  "(q=2, k=9, l=15)",
+            title="Perf — per-record vs batch vs parallel vs sharded vs "
+                  "streamed (q=2, k=9, l=15)",
         ),
     )
     baseline_rows = [
@@ -430,16 +559,19 @@ def test_perf_blocking(benchmark):
             # claim is asserted on the committed 10k/50k run, while CI
             # smoke sizes only check a real win to stay timing-robust.
             assert entry[technique]["speedup"] > 1.0
-            # Parallel/streamed equivalence is asserted inside the run;
-            # parallel *speedup* is only meaningful with spare cores, so
-            # it is recorded (with cpu_count) rather than asserted here.
+            # Parallel/streamed/sharded equivalence is asserted inside
+            # the run; parallel *speedup* is only meaningful with spare
+            # cores, so it is recorded (with cpu_count) rather than
+            # asserted here.
     check_pair_pipeline(report)
+    check_sharded_stream(report)
 
 
 def main() -> int:
     report = run_perf()
     _persist(report)
     check_pair_pipeline(report)
+    check_sharded_stream(report)
     return 0
 
 

@@ -59,27 +59,28 @@ def _make_blocker(args) -> object:
         raise ReproError("--attributes must name at least one attribute")
     technique = args.technique.lower()
     workers = args.workers if args.workers else None
+    processes = getattr(args, "processes", 1) or None
     if technique == "lsh":
         return LSHBlocker(
             attributes, q=args.q, k=args.k, l=args.l, seed=args.seed,
-            workers=workers,
+            workers=workers, processes=processes,
         )
     if technique == "salsh":
         return SALSHBlocker(
             attributes, q=args.q, k=args.k, l=args.l, seed=args.seed,
             semantic_function=_semantic_function(args.domain),
             w=args.w if args.w else "all", mode=args.mode,
-            workers=workers,
+            workers=workers, processes=processes,
         )
     if technique == "mplsh":
         return MultiProbeLSHBlocker(
             attributes, q=args.q, k=args.k, l=args.l, seed=args.seed,
-            workers=workers,
+            workers=workers, processes=processes,
         )
     if technique == "forest":
         return LSHForestBlocker(
             attributes, q=args.q, k=args.k, l=args.l, seed=args.seed,
-            workers=workers,
+            workers=workers, processes=processes,
         )
     for name in TECHNIQUE_ORDER:
         if technique == name.lower():
@@ -177,6 +178,11 @@ def build_parser() -> argparse.ArgumentParser:
     block.add_argument("--mode", choices=("and", "or"), default="or")
     block.add_argument("--workers", type=int, default=1,
                        help="threads for the batch signature engine "
+                            "(0 = all CPUs); identical blocks either way")
+    block.add_argument("--processes", type=int, default=1,
+                       help="worker processes for the sharded runtime: "
+                            "record slabs are shingled/minhashed in "
+                            "parallel and bucket grouping is band-sharded "
                             "(0 = all CPUs); identical blocks either way")
     block.add_argument("--seed", type=int, default=0)
     block.add_argument("--out", required=True)

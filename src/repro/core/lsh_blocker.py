@@ -16,9 +16,16 @@ Two engines produce identical blocks:
 
 A third entry point, :meth:`LSHBlocker.block_stream`, runs the batch
 engine over record *slabs*: the shingle vocabulary grows incrementally,
-signatures can spill to a memory-mapped ``.npy`` file, and buckets
-merge across slabs — blocks are byte-identical to :meth:`block` on the
+signatures can spill to a memory-mapped ``.npy`` file (or, for streams
+of unknown length, a growable append-to-file spill), and buckets merge
+across slabs — blocks are byte-identical to :meth:`block` on the
 concatenated records (see DESIGN.md, "Parallel & streaming runtime").
+
+Orthogonally, ``processes=`` routes the batch engine through the
+process-sharded runtime — record slabs shingled/minhashed in worker
+processes, bucket grouping band-sharded — with byte-identical blocks
+for any process count (see DESIGN.md, "Process-sharded streaming
+runtime").
 """
 
 from __future__ import annotations
@@ -32,11 +39,46 @@ from repro.core.base import Blocker, BlockingResult, make_blocks
 from repro.errors import ConfigurationError
 from repro.lsh.bands import split_bands, split_bands_matrix
 from repro.lsh.index import BandedLSHIndex
+from repro.lsh.sharding import signature_slabs
 from repro.minhash.corpus import ShingleVocabulary
 from repro.minhash.minhash import MinHasher
 from repro.minhash.shingling import Shingler
+from repro.minhash.signature import GrowableSignatureSpill
 from repro.records.dataset import Dataset
 from repro.records.record import Record
+from repro.utils.parallel import resolve_processes
+
+
+def stream_slab_signatures(
+    hasher: MinHasher,
+    corpus,
+    signatures_out: "np.ndarray | GrowableSignatureSpill | None",
+    cursor: int,
+    workers: int | None,
+) -> np.ndarray:
+    """Compute one streamed slab's signatures, honouring the spill target.
+
+    Fixed buffers (plain arrays or :func:`~repro.minhash.signature.
+    open_signature_memmap` maps) are filled in place via ``out=``; a
+    :class:`~repro.minhash.signature.GrowableSignatureSpill` has the
+    freshly computed slab appended. Returns the array band keys should
+    be derived from — the file-backed rows whenever a spill is in play,
+    so streamed key views stay pageable instead of pinning every slab
+    in RAM.
+    """
+    out = None
+    n = corpus.num_records
+    if isinstance(signatures_out, np.ndarray):
+        if cursor + n > signatures_out.shape[0]:
+            raise ConfigurationError(
+                f"signatures_out holds {signatures_out.shape[0]} rows; "
+                f"streamed records exceed it at {cursor + n}"
+            )
+        out = signatures_out[cursor : cursor + n]
+    signatures = hasher.signature_matrix(corpus, workers=workers, out=out)
+    if isinstance(signatures_out, GrowableSignatureSpill):
+        signatures = signatures_out.append(signatures)
+    return signatures
 
 
 class LSHBlocker(Blocker):
@@ -63,6 +105,13 @@ class LSHBlocker(Blocker):
     workers:
         Threads evaluating signature chunks concurrently (``None`` =
         all CPUs). Any worker count produces byte-identical blocks.
+    processes:
+        Worker *processes* for the sharded runtime (``None`` = all
+        CPUs): record slabs are shingled/minhashed in parallel
+        processes and bucket grouping is band-sharded across the same
+        pool — escaping the GIL for the string-heavy hot loops. Blocks
+        are byte-identical for every process count; applies to the
+        batch engine only.
     """
 
     def __init__(
@@ -76,6 +125,7 @@ class LSHBlocker(Blocker):
         padded: bool = False,
         batch: bool = True,
         workers: int | None = 1,
+        processes: int | None = 1,
         name: str | None = None,
     ) -> None:
         if k < 1 or l < 1:
@@ -87,6 +137,7 @@ class LSHBlocker(Blocker):
         self.seed = seed
         self.batch = batch
         self.workers = workers
+        self.processes = processes
         self.shingler = Shingler(self.attributes, q=q, padded=padded)
         self.hasher = MinHasher(num_hashes=k * l, seed=seed)
         self.name = name or "LSH"
@@ -95,23 +146,31 @@ class LSHBlocker(Blocker):
         return f"{self.name}(q={self.q}, k={self.k}, l={self.l})"
 
     def _fill_index(self, dataset: Dataset, index: BandedLSHIndex) -> None:
-        if self.batch:
+        if not self.batch:
+            for record in dataset:
+                signature = self.hasher.signature(
+                    self.shingler.shingle_ids(record)
+                )
+                index.add(record.record_id, split_bands(signature, self.k, self.l))
+        elif resolve_processes(self.processes) > 1:
+            for record_ids, signatures in signature_slabs(
+                self.shingler, self.hasher, dataset, self.processes,
+                workers=self.workers,
+            ):
+                index.add_many(
+                    record_ids, split_bands_matrix(signatures, self.k, self.l)
+                )
+        else:
             corpus = self.shingler.shingle_corpus(dataset)
             signatures = self.hasher.signature_matrix(
                 corpus, workers=self.workers
             )
             keys = split_bands_matrix(signatures, self.k, self.l)
             index.add_many(corpus.record_ids, keys)
-        else:
-            for record in dataset:
-                signature = self.hasher.signature(
-                    self.shingler.shingle_ids(record)
-                )
-                index.add(record.record_id, split_bands(signature, self.k, self.l))
 
     def block(self, dataset: Dataset) -> BlockingResult:
         start = time.perf_counter()
-        index = BandedLSHIndex(self.l)
+        index = BandedLSHIndex(self.l, processes=self.processes)
         self._fill_index(dataset, index)
         blocks = make_blocks(index.blocks())
         elapsed = time.perf_counter() - start
@@ -124,6 +183,7 @@ class LSHBlocker(Blocker):
                 "l": self.l,
                 "q": self.q,
                 "workers": self.workers,
+                "processes": self.processes,
                 "engine": "batch" if self.batch else "per-record",
             },
         )
@@ -132,7 +192,7 @@ class LSHBlocker(Blocker):
         self,
         slabs: Iterable[Iterable[Record]],
         *,
-        signatures_out: np.ndarray | None = None,
+        signatures_out: "np.ndarray | GrowableSignatureSpill | None" = None,
         vocabulary: ShingleVocabulary | None = None,
     ) -> BlockingResult:
         """Block a corpus streamed as record slabs.
@@ -142,16 +202,18 @@ class LSHBlocker(Blocker):
         the batch engine (with this blocker's ``workers``), banded, and
         bulk-inserted; buckets merge across slabs, so the blocks are
         byte-identical to :meth:`block` over the concatenated records.
+        ``slabs`` may be any iterable — including a plain generator of
+        unknown length; nothing here calls ``len()``.
 
         Memory: the index keeps each slab's band keys, which are
         *views* of the slab's signature rows. With ``signatures_out``
-        pointing at a memory map, those views are file-backed (the OS
-        pages them in and out at will), so resident memory is one
-        slab's transient working set plus the final grouped index —
-        that is the larger-than-RAM configuration. Without
-        ``signatures_out``, the key views pin every slab's signature
-        rows in RAM, so streaming only bounds the *transient* engine
-        memory, not the signature matrix itself.
+        pointing at a memory map or growable spill, those views are
+        file-backed (the OS pages them in and out at will), so resident
+        memory is one slab's transient working set plus the final
+        grouped index — that is the larger-than-RAM configuration.
+        Without ``signatures_out``, the key views pin every slab's
+        signature rows in RAM, so streaming only bounds the *transient*
+        engine memory, not the signature matrix itself.
 
         Parameters
         ----------
@@ -159,40 +221,34 @@ class LSHBlocker(Blocker):
             Iterable of record chunks, e.g. batches parsed from a file
             too large to load. Record ids must be unique across slabs.
         signatures_out:
-            Optional preallocated uint64 buffer with exactly ``k * l``
-            columns and at least ``total_records`` rows — typically a
+            Optional spill target filled with consecutive row slabs so
+            the full signature matrix lands on disk instead of RAM:
+            either a preallocated uint64 buffer with exactly ``k * l``
+            columns and at least ``total_records`` rows (typically a
             memory-mapped ``.npy`` from
-            :func:`~repro.minhash.signature.open_signature_memmap` —
-            filled with consecutive row slabs, so the full signature
-            matrix lands on disk instead of RAM.
+            :func:`~repro.minhash.signature.open_signature_memmap`) or,
+            when the stream length is unknown up front, a
+            :class:`~repro.minhash.signature.GrowableSignatureSpill`
+            with ``k * l`` hashes (the caller finalizes it afterwards).
         vocabulary:
             Optional vocabulary to extend (continue an earlier stream);
             a fresh one is used by default.
         """
         start = time.perf_counter()
         vocab = ShingleVocabulary() if vocabulary is None else vocabulary
-        index = BandedLSHIndex(self.l)
+        index = BandedLSHIndex(self.l, processes=self.processes)
         cursor = 0
         num_slabs = 0
         for slab in slabs:
             corpus = self.shingler.shingle_corpus(slab, vocabulary=vocab)
-            n = corpus.num_records
-            out = None
-            if signatures_out is not None:
-                if cursor + n > signatures_out.shape[0]:
-                    raise ConfigurationError(
-                        f"signatures_out holds {signatures_out.shape[0]} rows; "
-                        f"streamed records exceed it at {cursor + n}"
-                    )
-                out = signatures_out[cursor : cursor + n]
-            signatures = self.hasher.signature_matrix(
-                corpus, workers=self.workers, out=out
+            signatures = stream_slab_signatures(
+                self.hasher, corpus, signatures_out, cursor, self.workers
             )
             index.add_many(
                 corpus.record_ids,
                 split_bands_matrix(signatures, self.k, self.l),
             )
-            cursor += n
+            cursor += corpus.num_records
             num_slabs += 1
         blocks = make_blocks(index.blocks())
         elapsed = time.perf_counter() - start
@@ -205,6 +261,7 @@ class LSHBlocker(Blocker):
                 "l": self.l,
                 "q": self.q,
                 "workers": self.workers,
+                "processes": self.processes,
                 "engine": "streaming",
                 "num_slabs": num_slabs,
                 "num_records": cursor,

@@ -25,12 +25,13 @@ from repro.core.base import Blocker, BlockingResult, make_blocks
 from repro.errors import ConfigurationError
 from repro.lsh.bands import split_bands_matrix
 from repro.lsh.index import grouped_indices
+from repro.lsh.sharding import runner_up_signature_slabs, signature_slabs
 from repro.minhash.corpus import ShingledCorpus
 from repro.minhash.minhash import MinHasher, compact_vocabulary, sentinel_stream
 from repro.minhash.shingling import Shingler
 from repro.records.dataset import Dataset
 from repro.utils.hashing import MERSENNE_PRIME_61, UniversalHashFamily
-from repro.utils.parallel import chunk_spans, run_chunked
+from repro.utils.parallel import chunk_spans, resolve_processes, run_chunked
 
 
 class _MinHasherWithRunnerUp(MinHasher):
@@ -144,6 +145,7 @@ class MultiProbeLSHBlocker(Blocker):
         seed: int = 0,
         batch: bool = True,
         workers: int | None = 1,
+        processes: int | None = 1,
         name: str | None = None,
     ) -> None:
         if k < 1 or l < 1:
@@ -160,6 +162,7 @@ class MultiProbeLSHBlocker(Blocker):
         self.seed = seed
         self.batch = batch
         self.workers = workers
+        self.processes = processes
         self.shingler = Shingler(self.attributes, q=q)
         self.hasher = _MinHasherWithRunnerUp(num_hashes=k * l, seed=seed)
         self.name = name or "MP-LSH"
@@ -171,12 +174,27 @@ class MultiProbeLSHBlocker(Blocker):
         )
 
     def _block_batch(self, dataset: Dataset) -> list[list[str]]:
-        corpus = self.shingler.shingle_corpus(dataset)
-        minima, runners = self.hasher.signature_matrix_with_runner_up(
-            corpus, workers=self.workers
-        )
-        n = corpus.num_records
-        ids = np.asarray(corpus.record_ids, dtype=object)
+        if resolve_processes(self.processes) > 1 and len(dataset):
+            # Record slabs shingled/minhashed across processes; the
+            # concatenated matrices equal the one-shot pass byte for
+            # byte, so the probe grouping below is unchanged. (An empty
+            # dataset yields no slabs to concatenate — the serial path
+            # handles it.)
+            parts = runner_up_signature_slabs(
+                self.shingler, self.hasher, dataset, self.processes,
+                workers=self.workers,
+            )
+            record_ids = tuple(rid for p in parts for rid in p[0])
+            minima = np.concatenate([p[1] for p in parts])
+            runners = np.concatenate([p[2] for p in parts])
+        else:
+            corpus = self.shingler.shingle_corpus(dataset)
+            record_ids = corpus.record_ids
+            minima, runners = self.hasher.signature_matrix_with_runner_up(
+                corpus, workers=self.workers
+            )
+        n = len(record_ids)
+        ids = np.asarray(record_ids, dtype=object)
         exact_keys = split_bands_matrix(minima, self.k, self.l)
 
         groups: list[list[str]] = []
@@ -292,6 +310,7 @@ class LSHForestBlocker(Blocker):
         seed: int = 0,
         batch: bool = True,
         workers: int | None = 1,
+        processes: int | None = 1,
         name: str | None = None,
     ) -> None:
         if k < 1 or l < 1:
@@ -308,6 +327,7 @@ class LSHForestBlocker(Blocker):
         self.seed = seed
         self.batch = batch
         self.workers = workers
+        self.processes = processes
         self.shingler = Shingler(self.attributes, q=q)
         self.hasher = MinHasher(num_hashes=k * l, seed=seed)
         self.name = name or "LSH-Forest"
@@ -340,6 +360,15 @@ class LSHForestBlocker(Blocker):
 
     def _signatures(self, dataset: Dataset) -> tuple[tuple[str, ...], np.ndarray]:
         if self.batch:
+            if resolve_processes(self.processes) > 1 and len(dataset):
+                parts = signature_slabs(
+                    self.shingler, self.hasher, dataset, self.processes,
+                    workers=self.workers,
+                )
+                return (
+                    tuple(rid for p in parts for rid in p[0]),
+                    np.concatenate([p[1] for p in parts]),
+                )
             corpus = self.shingler.shingle_corpus(dataset)
             return corpus.record_ids, self.hasher.signature_matrix(
                 corpus, workers=self.workers

@@ -38,7 +38,10 @@ class PipelineConfig:
     ``epsilon``, ``ph``, ``pl`` and ``sl_gap`` drive §5.3 tuning; gate
     selection is automatic unless ``w``/``mode`` are pinned.
     ``workers`` is passed to the blocker's batch signature engine
-    (threads over hash-function chunks; ``None`` = all CPUs).
+    (threads over hash-function chunks; ``None`` = all CPUs);
+    ``processes`` to its process-sharded runtime (record-slab
+    signatures + band-sharded grouping; blocks are byte-identical for
+    any count).
     """
 
     attributes: tuple[str, ...]
@@ -52,6 +55,7 @@ class PipelineConfig:
     w: int | str | None = None
     mode: str | None = None
     workers: int | None = 1
+    processes: int | None = 1
 
 
 @dataclass(frozen=True)
@@ -109,7 +113,7 @@ def run_pipeline(
         blocker = LSHBlocker(
             config.attributes, q=config.q,
             k=parameters.k, l=parameters.l, seed=config.seed,
-            workers=config.workers,
+            workers=config.workers, processes=config.processes,
         )
     else:
         quality = analyse_semantic_features(training, semantic_function)
@@ -124,7 +128,7 @@ def run_pipeline(
             config.attributes, q=config.q,
             k=parameters.k, l=parameters.l, seed=config.seed,
             semantic_function=semantic_function, w=w, mode=mode,
-            workers=config.workers,
+            workers=config.workers, processes=config.processes,
         )
 
     outcome = run_blocking(blocker, dataset)

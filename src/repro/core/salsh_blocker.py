@@ -11,17 +11,26 @@ collide, regardless of textual similarity.
 from __future__ import annotations
 
 import time
+from typing import Iterable
+
+import numpy as np
 
 from repro.core.base import Blocker, BlockingResult, make_blocks
+from repro.core.lsh_blocker import stream_slab_signatures
 from repro.errors import ConfigurationError
 from repro.lsh.bands import split_bands, split_bands_matrix
 from repro.lsh.index import BandedLSHIndex
+from repro.lsh.sharding import semantic_signature_slabs
+from repro.minhash.corpus import ShingleVocabulary
 from repro.minhash.minhash import MinHasher
 from repro.minhash.shingling import Shingler
+from repro.minhash.signature import GrowableSignatureSpill
 from repro.records.dataset import Dataset
+from repro.records.record import Record
 from repro.semantic.hashing import WWaySemanticHashFamily
 from repro.semantic.interpretation import SemanticFunction
 from repro.semantic.semhash import SemhashEncoder
+from repro.utils.parallel import resolve_processes
 
 
 class SALSHBlocker(Blocker):
@@ -46,6 +55,12 @@ class SALSHBlocker(Blocker):
     workers:
         Threads evaluating minhash signature chunks concurrently
         (``None`` = all CPUs); byte-identical blocks for any count.
+    processes:
+        Worker processes for the sharded runtime (``None`` = all CPUs):
+        record slabs are shingled, minhashed *and interpreted* in
+        parallel processes, and bucket grouping is band-sharded across
+        the same pool. Byte-identical blocks for every process count;
+        applies to the batch engine only.
     """
 
     def __init__(
@@ -62,6 +77,7 @@ class SALSHBlocker(Blocker):
         padded: bool = False,
         batch: bool = True,
         workers: int | None = 1,
+        processes: int | None = 1,
         name: str | None = None,
     ) -> None:
         if k < 1 or l < 1:
@@ -77,6 +93,7 @@ class SALSHBlocker(Blocker):
         self.seed = seed
         self.batch = batch
         self.workers = workers
+        self.processes = processes
         self.semantic_function = semantic_function
         self.shingler = Shingler(self.attributes, q=q, padded=padded)
         self.hasher = MinHasher(num_hashes=k * l, seed=seed)
@@ -88,8 +105,19 @@ class SALSHBlocker(Blocker):
             f"w={self.w}, mode={self.mode})"
         )
 
+    def _gates(self, num_bits: int) -> WWaySemanticHashFamily:
+        return WWaySemanticHashFamily(
+            num_bits=num_bits,
+            w=self.w,
+            mode=self.mode,
+            num_tables=self.l,
+            seed=self.seed,
+        )
+
     def block(self, dataset: Dataset) -> BlockingResult:
         start = time.perf_counter()
+        if self.batch and resolve_processes(self.processes) > 1:
+            return self._block_sharded(dataset, start)
 
         # Semantic-function build time is reported separately (the SF
         # curve of Fig. 13): it covers interpreting all records, fixing
@@ -104,13 +132,7 @@ class SALSHBlocker(Blocker):
             }
         sf_seconds = time.perf_counter() - sf_start
 
-        gates = WWaySemanticHashFamily(
-            num_bits=encoder.num_bits,
-            w=self.w,
-            mode=self.mode,
-            num_tables=self.l,
-            seed=self.seed,
-        )
+        gates = self._gates(encoder.num_bits)
 
         index = BandedLSHIndex(self.l)
         if self.batch:
@@ -153,6 +175,153 @@ class SALSHBlocker(Blocker):
                 "num_semantic_bits": encoder.num_bits,
                 "sf_seconds": sf_seconds,
                 "workers": self.workers,
+                "processes": self.processes,
                 "engine": "batch" if self.batch else "per-record",
+            },
+        )
+
+    def _block_sharded(self, dataset: Dataset, start: float) -> BlockingResult:
+        """The ``processes>1`` batch path.
+
+        One process-pool pass shingles, minhashes *and* interprets each
+        record slab; the parent derives the semhash bit set from the
+        shipped ζ sets (a union — order-independent, so identical to
+        the serial encoder), encodes each slab's semhash rows with the
+        vectorized scatter, and bulk-inserts with per-slab gate
+        entries. Cross-slab bucket merging plus band-sharded grouping
+        make the blocks byte-identical to the serial batch engine.
+        """
+        slabs = semantic_signature_slabs(
+            self.shingler, self.hasher, self.semantic_function,
+            dataset, self.processes, workers=self.workers,
+        )
+        # sf_seconds covers the parent-side bit-set fix + semhash
+        # encode; per-record interpretation time is folded into the
+        # parallel slab pass and not separable from minhashing.
+        sf_start = time.perf_counter()
+        interpretations: dict[str, frozenset[str]] = {}
+        for record_ids, _, zetas in slabs:
+            interpretations.update(zip(record_ids, zetas))
+        encoder = SemhashEncoder.from_interpretations(
+            self.semantic_function, interpretations
+        )
+        semhash_slabs = [
+            encoder.matrix_from_interpretations(zetas)
+            for _, _, zetas in slabs
+        ]
+        sf_seconds = time.perf_counter() - sf_start
+
+        gates = self._gates(encoder.num_bits)
+        index = BandedLSHIndex(self.l, processes=self.processes)
+        for (record_ids, signatures, _), semhash in zip(slabs, semhash_slabs):
+            entries = [
+                gates.gate_entries(table, semhash) for table in range(self.l)
+            ]
+            index.add_many(
+                record_ids,
+                split_bands_matrix(signatures, self.k, self.l),
+                gate_entries=entries,
+            )
+        blocks = make_blocks(index.blocks())
+        elapsed = time.perf_counter() - start
+        return BlockingResult(
+            blocker_name=self.name,
+            blocks=blocks,
+            seconds=elapsed,
+            metadata={
+                "k": self.k,
+                "l": self.l,
+                "q": self.q,
+                "w": gates.w,
+                "mode": self.mode,
+                "num_semantic_bits": encoder.num_bits,
+                "sf_seconds": sf_seconds,
+                "workers": self.workers,
+                "processes": self.processes,
+                "engine": "sharded",
+            },
+        )
+
+    def block_stream(
+        self,
+        slabs: Iterable[Iterable[Record]],
+        *,
+        encoder: SemhashEncoder,
+        signatures_out: "np.ndarray | GrowableSignatureSpill | None" = None,
+        vocabulary: ShingleVocabulary | None = None,
+    ) -> BlockingResult:
+        """Block a corpus streamed as record slabs — SA-LSH's streaming
+        entry point.
+
+        Works like :meth:`repro.core.lsh_blocker.LSHBlocker.
+        block_stream` with the semantic gate applied per slab: each
+        slab is shingled against one growing vocabulary, minhashed,
+        encoded with the *frozen* ``encoder`` and bulk-inserted under
+        (band key, gate suffix) buckets that merge across slabs.
+        ``slabs`` may be a plain generator of unknown length.
+
+        With ``encoder`` frozen from the full corpus
+        (``SemhashEncoder(semantic_function, records)``) the blocks are
+        byte-identical to :meth:`block` over the concatenated records.
+        With an encoder fitted on a training sample
+        (:meth:`~repro.semantic.semhash.SemhashEncoder.fit`) unseen
+        leaf concepts are dropped from the signatures, so blocks can
+        differ; the streamed SA-LSH tests bound the recall dip.
+
+        Parameters
+        ----------
+        slabs:
+            Iterable of record chunks; ids must be unique across slabs.
+        encoder:
+            A frozen :class:`~repro.semantic.semhash.SemhashEncoder`
+            (its bit set fixes the gate family; it is never mutated).
+        signatures_out:
+            Optional spill target (fixed memory map or growable spill),
+            as for the LSH streaming path.
+        vocabulary:
+            Optional vocabulary to extend (continue an earlier stream).
+        """
+        start = time.perf_counter()
+        vocab = ShingleVocabulary() if vocabulary is None else vocabulary
+        gates = self._gates(encoder.num_bits)
+        index = BandedLSHIndex(self.l, processes=self.processes)
+        cursor = 0
+        num_slabs = 0
+        for slab in slabs:
+            records = slab if isinstance(slab, (list, tuple)) else list(slab)
+            corpus = self.shingler.shingle_corpus(records, vocabulary=vocab)
+            signatures = stream_slab_signatures(
+                self.hasher, corpus, signatures_out, cursor, self.workers
+            )
+            semhash = encoder.signature_matrix(records)
+            entries = [
+                gates.gate_entries(table, semhash) for table in range(self.l)
+            ]
+            index.add_many(
+                corpus.record_ids,
+                split_bands_matrix(signatures, self.k, self.l),
+                gate_entries=entries,
+            )
+            cursor += corpus.num_records
+            num_slabs += 1
+        blocks = make_blocks(index.blocks())
+        elapsed = time.perf_counter() - start
+        return BlockingResult(
+            blocker_name=self.name,
+            blocks=blocks,
+            seconds=elapsed,
+            metadata={
+                "k": self.k,
+                "l": self.l,
+                "q": self.q,
+                "w": gates.w,
+                "mode": self.mode,
+                "num_semantic_bits": encoder.num_bits,
+                "workers": self.workers,
+                "processes": self.processes,
+                "engine": "streaming",
+                "num_slabs": num_slabs,
+                "num_records": cursor,
+                "spilled": signatures_out is not None,
             },
         )

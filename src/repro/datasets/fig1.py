@@ -55,12 +55,13 @@ def fig1_dataset() -> Dataset:
     return Dataset(records, name="fig1")
 
 
+def _interpret_publisher(record):
+    # Module-level (not a closure) so the semantic function pickles
+    # into process-sharded workers.
+    concept = _PUBLISHER_CONCEPTS.get(record.get("publisher"), "c0")
+    return (concept,)
+
+
 def fig1_semantic_function() -> CallableSemanticFunction:
     """Semantic function mapping PUBLISHER values to ``tbib`` concepts."""
-    tree = bibliographic_tree()
-
-    def interpret(record):
-        concept = _PUBLISHER_CONCEPTS.get(record.get("publisher"), "c0")
-        return (concept,)
-
-    return CallableSemanticFunction(tree, interpret)
+    return CallableSemanticFunction(bibliographic_tree(), _interpret_publisher)

@@ -10,13 +10,20 @@ evaluation.
 """
 
 from repro.er.matching import MatchDecision, SimilarityMatcher
-from repro.er.clustering import connected_components, resolve
+from repro.er.clustering import (
+    component_labels,
+    connected_components,
+    connected_components_arrays,
+    resolve,
+)
 from repro.er.evaluation import ResolutionMetrics, evaluate_resolution
 
 __all__ = [
     "SimilarityMatcher",
     "MatchDecision",
+    "component_labels",
     "connected_components",
+    "connected_components_arrays",
     "resolve",
     "ResolutionMetrics",
     "evaluate_resolution",

@@ -36,6 +36,8 @@ from typing import Callable, Hashable, Iterable, Sequence
 
 import numpy as np
 
+from repro.utils.parallel import resolve_processes
+
 GateFn = Callable[[int, str], Sequence[Hashable]]
 #: A gate takes (table_index, record_id) and returns the bucket-key
 #: suffixes under which the record is inserted in that table. Returning
@@ -166,12 +168,21 @@ class _BulkBuckets:
 
 
 class BandedLSHIndex:
-    """Accumulates records into ``l`` hash tables keyed by band keys."""
+    """Accumulates records into ``l`` hash tables keyed by band keys.
 
-    def __init__(self, num_tables: int) -> None:
+    ``processes`` routes the bulk bucket grouping through the
+    band-sharded process runtime (see DESIGN.md, "Process-sharded
+    streaming runtime"): entries are hashed to disjoint label shards,
+    each grouped by a worker process, and re-emitted in global
+    first-occurrence order — :meth:`blocks` is byte-identical for every
+    process count.
+    """
+
+    def __init__(self, num_tables: int, *, processes: int | None = 1) -> None:
         if num_tables < 1:
             raise ValueError(f"need at least one table, got {num_tables}")
         self.num_tables = num_tables
+        self.processes = processes
         self._tables: list[dict[Hashable, list[str]]] = [
             defaultdict(list) for _ in range(num_tables)
         ]
@@ -282,18 +293,48 @@ class BandedLSHIndex:
                 else np.concatenate([slab.ids for slab in slabs])
             )
             bases = np.cumsum([0] + [slab.ids.size for slab in slabs])
-            for table in range(self.num_tables):
-                bulk[table] = self._group_table(table, slabs, ids_all, bases)
+            entries = [
+                self._table_entries(table, slabs, ids_all, bases)
+                for table in range(self.num_tables)
+            ]
+            if resolve_processes(self.processes) > 1:
+                # Lazy import: sharding's workers import this module.
+                from repro.lsh.sharding import group_tables_sharded
+
+                bulk = group_tables_sharded(entries, self.processes)
+            else:
+                for table, entry in enumerate(entries):
+                    bulk[table] = self._group_entries(entry)
         self._bulk = bulk
         return bulk
 
-    def _group_table(
+    @staticmethod
+    def _group_entries(
+        entry: tuple[np.ndarray, np.ndarray] | None,
+    ) -> _BulkBuckets | None:
+        """Serial sort-and-segment grouping of one table's entries."""
+        if entry is None:
+            return None
+        entry_ids, labels = entry
+        order, starts, ends = _segment(labels)
+        emit_order = np.argsort(order[starts], kind="stable")
+        return _BulkBuckets(entry_ids[order], starts, ends, emit_order)
+
+    def _table_entries(
         self,
         table: int,
         slabs: list[_PendingSlab],
         ids_all: np.ndarray,
         bases: np.ndarray,
-    ) -> _BulkBuckets | None:
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """One table's merged entries: ``(entry_ids, labels)``.
+
+        Entries are in serial insertion order (slab-major, record-major,
+        suffix-ascending for OR gates); bucketing groups equal labels.
+        ``labels`` are either the raw fixed-width band keys (no gates)
+        or combined int64 (band, suffix) codes. ``None`` when the gates
+        exclude every record from the table.
+        """
         keys_all = (
             slabs[0].key_matrix[:, table]
             if len(slabs) == 1
@@ -305,8 +346,7 @@ class BandedLSHIndex:
         ]
         if all(gate is None for gate in gates):
             # Band keys sort directly; no per-entry suffixes.
-            order, starts, ends = _segment(keys_all)
-            entry_ids = ids_all
+            return ids_all, keys_all
         else:
             # Distinct (band, suffix) pairs need distinct labels: give
             # every suffix an integer code — OR-gate bit indices stay
@@ -344,10 +384,7 @@ class BandedLSHIndex:
             low = int(suffix_values.min())
             span = int(suffix_values.max()) - low + 1
             labels = band_label[entry_rows] * span + (suffix_values - low)
-            order, starts, ends = _segment(labels)
-            entry_ids = ids_all[entry_rows]
-        emit_order = np.argsort(order[starts], kind="stable")
-        return _BulkBuckets(entry_ids[order], starts, ends, emit_order)
+            return ids_all[entry_rows], labels
 
     def blocks(self, *, min_size: int = 2) -> list[tuple[str, ...]]:
         """All buckets holding at least ``min_size`` records.

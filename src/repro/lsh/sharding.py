@@ -1,0 +1,230 @@
+"""Process-level sharding of the blocking hot loops.
+
+The ``workers=`` runtime (threads) only helps the numpy kernels that
+release the GIL; the remaining hot loops — string shingling, semantic
+interpretation and the sort-and-segment bucket grouping — are GIL-bound
+Python/numpy work. This module maps them over a
+:class:`~concurrent.futures.ProcessPoolExecutor` in two phases (see
+DESIGN.md, "Process-sharded streaming runtime"):
+
+* **Record slabs** (map): the corpus is cut into contiguous record
+  slabs; each worker shingles, minhashes and (for SA-LSH) interprets
+  its slab with private state. Signatures are a pure function of the
+  hashed gram multiset, and interpretations of the record alone, so the
+  reassembled outputs are byte-identical to a single-process pass.
+* **Band-key shards** (reduce): grouping entries into buckets routes
+  each entry by a deterministic hash of its grouping label
+  (:func:`fold_labels`), so every shard owns a *disjoint* label range
+  and groups it independently — no cross-shard bucket merge is needed
+  beyond concatenation. Each bucket's global first-occurrence position
+  is carried back, and the merged emission order sorts on it, which
+  reproduces the serial ``BandedLSHIndex.blocks`` order exactly.
+
+Worker functions are module-level (the pickling contract of
+:func:`repro.utils.parallel.map_processes`); payloads carry the
+shingler/hasher/semantic-function objects plus plain record lists.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.records.record import Record
+from repro.utils.parallel import map_processes, resolve_processes
+
+#: Multiplier of the label-folding hash (the 64-bit golden ratio, as in
+#: splitmix64) — fixed so shard routing is deterministic across runs
+#: and hosts.
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX = np.uint64(0xFF51AFD7ED558CCD)
+_SHIFT = np.uint64(33)
+
+
+def record_slabs(
+    records: Sequence[Record], num_slabs: int
+) -> list[Sequence[Record]]:
+    """Cut a record list into at most ``num_slabs`` contiguous slabs."""
+    if num_slabs < 1:
+        raise ConfigurationError(f"num_slabs must be >= 1, got {num_slabs}")
+    n = len(records)
+    per_slab = max(1, -(-n // num_slabs))
+    return [records[lo : lo + per_slab] for lo in range(0, n, per_slab)]
+
+
+def _plain_slab(payload):
+    shingler, hasher, records, workers = payload
+    corpus = shingler.shingle_corpus(records)
+    return corpus.record_ids, hasher.signature_matrix(corpus, workers=workers)
+
+
+def _runner_up_slab(payload):
+    shingler, hasher, records, workers = payload
+    corpus = shingler.shingle_corpus(records)
+    minima, runners = hasher.signature_matrix_with_runner_up(
+        corpus, workers=workers
+    )
+    return corpus.record_ids, minima, runners
+
+
+def _semantic_slab(payload):
+    shingler, hasher, semantic_function, records, workers = payload
+    corpus = shingler.shingle_corpus(records)
+    zetas = [semantic_function.interpret(record) for record in records]
+    return (
+        corpus.record_ids,
+        hasher.signature_matrix(corpus, workers=workers),
+        zetas,
+    )
+
+
+def signature_slabs(shingler, hasher, records, processes, *, workers=1):
+    """Shingle + minhash record slabs across processes.
+
+    Returns one ``(record_ids, signature_matrix)`` tuple per slab, in
+    record order — concatenated they equal the single-process corpus
+    pass byte for byte (each worker interns a private vocabulary, which
+    signatures do not depend on). ``workers`` threads evaluate each
+    slab's hash-function chunks *inside* its worker process, so the two
+    knobs compose (processes × workers) instead of one silently
+    disabling the other.
+    """
+    records = list(records)
+    slabs = record_slabs(records, resolve_processes(processes))
+    return map_processes(
+        _plain_slab,
+        [(shingler, hasher, slab, workers) for slab in slabs],
+        processes,
+    )
+
+
+def runner_up_signature_slabs(
+    shingler, hasher, records, processes, *, workers=1
+):
+    """Like :func:`signature_slabs` for minima + runner-up matrices."""
+    records = list(records)
+    slabs = record_slabs(records, resolve_processes(processes))
+    return map_processes(
+        _runner_up_slab,
+        [(shingler, hasher, slab, workers) for slab in slabs],
+        processes,
+    )
+
+
+def semantic_signature_slabs(
+    shingler, hasher, semantic_function, records, processes, *, workers=1
+):
+    """Shingle + minhash + interpret record slabs across processes.
+
+    Returns one ``(record_ids, signature_matrix, zetas)`` tuple per
+    slab; ``zetas`` aligns with ``record_ids``. Interpretation (the
+    regex/lookup-heavy ζ evaluation) happens exactly once per record,
+    inside the workers — the parent derives the semhash bit set from
+    the shipped ζ sets without re-interpreting anything.
+    """
+    records = list(records)
+    slabs = record_slabs(records, resolve_processes(processes))
+    return map_processes(
+        _semantic_slab,
+        [(shingler, hasher, semantic_function, slab, workers) for slab in slabs],
+        processes,
+    )
+
+
+def fold_labels(labels: np.ndarray) -> np.ndarray:
+    """Deterministic uint64 hash of grouping labels, for shard routing.
+
+    Accepts the two label dtypes the index groups by — fixed-width byte
+    band keys (``S{8k}``, folded word-wise) and combined int64
+    (band, gate-suffix) labels — and avalanches the fold so shard
+    assignment ``fold_labels(labels) % num_shards`` spreads near-equal
+    labels. Equal labels always fold equal, so every bucket lands
+    wholly inside one shard.
+    """
+    if labels.dtype.kind == "S":
+        itemsize = labels.dtype.itemsize
+        if itemsize % 8 != 0:
+            raise ConfigurationError(
+                f"byte labels must be a multiple of 8 wide, got {itemsize}"
+            )
+        words = (
+            np.ascontiguousarray(labels)
+            .view(np.uint64)
+            .reshape(len(labels), itemsize // 8)
+        )
+        folded = np.zeros(len(labels), dtype=np.uint64)
+        for column in range(words.shape[1]):
+            folded = folded * _GOLDEN + words[:, column]
+    else:
+        folded = labels.astype(np.uint64, copy=True) * _GOLDEN
+    folded ^= folded >> _SHIFT
+    folded *= _MIX
+    folded ^= folded >> _SHIFT
+    return folded
+
+
+def _segment_shard(payload):
+    """Worker: sort-and-segment every (table, labels) subset of a shard."""
+    from repro.lsh.index import _segment
+
+    return [(table, _segment(labels)) for table, labels in payload]
+
+
+def group_tables_sharded(entries, processes):
+    """Group per-table entries into buckets across process shards.
+
+    ``entries`` is one ``(entry_ids, labels)`` pair (or ``None``) per
+    table, in serial entry order — the output of
+    ``BandedLSHIndex._table_entries``. Entries are routed to
+    ``resolve_processes(processes)`` shards by label hash; each shard
+    sort-and-segments its disjoint label subset, and the merged buckets
+    are re-emitted by ascending global first-occurrence position —
+    byte-identical to the serial grouping (members ascend within each
+    bucket because shard subsets preserve relative entry order).
+
+    Returns one ``_BulkBuckets`` (or ``None``) per table.
+    """
+    from repro.lsh.index import _BulkBuckets
+
+    num_shards = resolve_processes(processes)
+    payloads: list[list] = [[] for _ in range(num_shards)]
+    selections: dict[tuple[int, int], np.ndarray] = {}
+    for table, entry in enumerate(entries):
+        if entry is None:
+            continue
+        _, labels = entry
+        shard_ids = fold_labels(labels) % np.uint64(num_shards)
+        for shard in range(num_shards):
+            chosen = np.flatnonzero(shard_ids == shard)
+            if chosen.size == 0:
+                continue
+            selections[(shard, table)] = chosen
+            payloads[shard].append((table, labels[chosen]))
+    results = map_processes(_segment_shard, payloads, processes)
+
+    merged: list = [None] * len(entries)
+    parts: dict[int, list] = {}
+    for shard, result in enumerate(results):
+        for table, (order, starts, ends) in result:
+            chosen = selections[(shard, table)]
+            entry_ids = entries[table][0]
+            positions = chosen[order]
+            parts.setdefault(table, []).append(
+                (entry_ids[positions], starts, ends, positions[starts])
+            )
+    for table, shard_parts in parts.items():
+        members = np.concatenate([p[0] for p in shard_parts])
+        sizes = [p[0].size for p in shard_parts]
+        offsets = np.cumsum([0] + sizes[:-1])
+        starts = np.concatenate(
+            [p[1] + offset for p, offset in zip(shard_parts, offsets)]
+        )
+        ends = np.concatenate(
+            [p[2] + offset for p, offset in zip(shard_parts, offsets)]
+        )
+        first_positions = np.concatenate([p[3] for p in shard_parts])
+        emit_order = np.argsort(first_positions, kind="stable")
+        merged[table] = _BulkBuckets(members, starts, ends, emit_order)
+    return merged

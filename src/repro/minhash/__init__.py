@@ -4,6 +4,7 @@ from repro.minhash.corpus import ShingledCorpus, ShingleVocabulary
 from repro.minhash.shingling import Shingler
 from repro.minhash.minhash import MinHasher
 from repro.minhash.signature import (
+    GrowableSignatureSpill,
     SignatureMatrix,
     build_signature_matrix,
     open_signature_memmap,
@@ -14,6 +15,7 @@ __all__ = [
     "ShingleVocabulary",
     "Shingler",
     "MinHasher",
+    "GrowableSignatureSpill",
     "SignatureMatrix",
     "build_signature_matrix",
     "open_signature_memmap",

@@ -1,21 +1,30 @@
 """Signature matrices: minhash signatures for a whole dataset.
 
-Includes the on-disk form: :func:`open_signature_memmap` creates a
-``.npy``-backed memory map that :meth:`MinHasher.signature_matrix`
-(via its ``out=`` argument) and
-:meth:`repro.core.lsh_blocker.LSHBlocker.block_stream` (via
-``signatures_out=``) fill slab by slab, so signature matrices larger
-than RAM spill to disk instead of failing (see DESIGN.md, "Parallel &
-streaming runtime").
+Includes the on-disk forms:
+
+* :func:`open_signature_memmap` creates a fixed-size ``.npy``-backed
+  memory map that :meth:`MinHasher.signature_matrix` (via its ``out=``
+  argument) and :meth:`repro.core.lsh_blocker.LSHBlocker.block_stream`
+  (via ``signatures_out=``) fill slab by slab — for streams whose
+  record count is known up front;
+* :class:`GrowableSignatureSpill` appends row slabs to a ``.npy`` file
+  of *unknown* final length and patches the header on
+  :meth:`~GrowableSignatureSpill.finalize` — for plain generators with
+  no ``len()`` (see DESIGN.md, "Process-sharded streaming runtime").
+
+Either way signature matrices larger than RAM spill to disk instead of
+failing.
 """
 
 from __future__ import annotations
 
 import os
+import struct
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.minhash.minhash import MinHasher
 from repro.minhash.shingling import Shingler
 from repro.records.dataset import Dataset
@@ -86,3 +95,122 @@ def open_signature_memmap(
         os.fspath(path), mode="w+", dtype=np.uint64,
         shape=(num_records, num_hashes),
     )
+
+
+#: Fixed byte length of the spill's ``.npy`` header dict (padding
+#: included, trailing newline excluded). Writing the placeholder and the
+#: finalized header at the same length lets :meth:`finalize` patch the
+#: shape in place; 118 + the 10 magic/length bytes align the row data at
+#: 128 bytes and leave room for any shape below 2**32 rows.
+_SPILL_HEADER_LEN = 118
+
+
+def _spill_header(shape: tuple[int, int]) -> bytes:
+    """A version-1.0 ``.npy`` header for a C-order uint64 array, padded
+    to the fixed spill length."""
+    descr = np.lib.format.dtype_to_descr(np.dtype(np.uint64))
+    header = (
+        "{'descr': %r, 'fortran_order': False, 'shape': %r, }"
+        % (descr, shape)
+    ).encode("latin1")
+    padding = _SPILL_HEADER_LEN - 1 - len(header)
+    if padding < 0:  # pragma: no cover - shapes this large never fit RAM
+        raise ConfigurationError(f"npy header for shape {shape} too long")
+    return (
+        b"\x93NUMPY\x01\x00"
+        + struct.pack("<H", _SPILL_HEADER_LEN)
+        + header
+        + b" " * padding
+        + b"\n"
+    )
+
+
+class GrowableSignatureSpill:
+    """Append-to-file signature spill for streams of unknown length.
+
+    Where :func:`open_signature_memmap` needs ``num_records`` up front,
+    a growable spill starts from a placeholder ``.npy`` header with
+    shape ``(0, num_hashes)``, appends row slabs as raw chunked writes,
+    and rewrites the (fixed-length) header with the final row count on
+    :meth:`finalize` — the slab pattern of the PR 2 memory-mapped spill
+    without the up-front count. Each :meth:`append` returns a read-only
+    *file-backed* view of the rows it just wrote, so band keys derived
+    from it stay pageable instead of pinning every slab in RAM.
+
+    Until :meth:`finalize` runs the file's header undersells the data
+    (readers see zero rows); after it the file is a plain ``.npy`` that
+    any later process can ``np.load(path, mmap_mode="r")``.
+    """
+
+    def __init__(self, path: str | os.PathLike, num_hashes: int) -> None:
+        if num_hashes < 1:
+            raise ConfigurationError(
+                f"num_hashes must be >= 1, got {num_hashes}"
+            )
+        self.path = os.fspath(path)
+        self.num_hashes = num_hashes
+        self._rows = 0
+        self._file = open(self.path, "w+b")
+        self._file.write(_spill_header((0, num_hashes)))
+        self._file.flush()
+
+    @property
+    def num_records(self) -> int:
+        """Rows appended so far."""
+        return self._rows
+
+    @property
+    def finalized(self) -> bool:
+        return self._file is None
+
+    def append(self, matrix: np.ndarray) -> np.ndarray:
+        """Append a ``(n, num_hashes)`` uint64 slab; return its on-disk view.
+
+        The returned array is a read-only ``np.memmap`` over the bytes
+        just written (empty slabs return a plain empty array). Views
+        remain valid after :meth:`finalize`.
+        """
+        if self._file is None:
+            raise ConfigurationError("spill is finalized; cannot append")
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[1] != self.num_hashes:
+            raise ConfigurationError(
+                f"expected (n, {self.num_hashes}) rows, got shape "
+                f"{matrix.shape}"
+            )
+        if matrix.dtype != np.uint64:
+            raise ConfigurationError(
+                f"spill rows must be uint64, got {matrix.dtype}"
+            )
+        n = matrix.shape[0]
+        if n == 0:
+            return np.empty((0, self.num_hashes), dtype=np.uint64)
+        offset = (
+            _SPILL_HEADER_LEN + 10 + self._rows * 8 * self.num_hashes
+        )
+        self._file.write(np.ascontiguousarray(matrix).tobytes())
+        self._file.flush()
+        self._rows += n
+        return np.memmap(
+            self.path, dtype=np.uint64, mode="r", offset=offset,
+            shape=(n, self.num_hashes),
+        )
+
+    def finalize(self) -> np.memmap:
+        """Patch the header with the final shape; return the full matrix.
+
+        Idempotent: later calls reopen the finalized file. The returned
+        memory map is read-only; an empty stream finalizes to a valid
+        ``(0, num_hashes)`` array.
+        """
+        if self._file is not None:
+            self._file.seek(0)
+            self._file.write(_spill_header((self._rows, self.num_hashes)))
+            self._file.flush()
+            self._file.close()
+            self._file = None
+        return np.load(self.path, mmap_mode="r")
+
+    def close(self) -> None:
+        """Alias of :meth:`finalize` for ``contextlib.closing`` use."""
+        self.finalize()

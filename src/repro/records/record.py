@@ -49,6 +49,12 @@ class Record:
         """Return the values of several attributes in order."""
         return [self.get(a) for a in attributes]
 
+    def __reduce__(self):
+        # The frozen MappingProxyType does not pickle; rebuild through
+        # __init__ (which re-freezes) so records can ship to the
+        # process-sharded workers.
+        return (Record, (self.record_id, dict(self.fields), self.entity_id))
+
     def __hash__(self) -> int:
         return hash(self.record_id)
 

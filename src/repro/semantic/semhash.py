@@ -109,6 +109,15 @@ def pairwise_jaccard_packed(
 class SemhashEncoder:
     """Generate semhash signatures for the records of a dataset.
 
+    The encoder is *frozen at construction*: the bit set C is fixed from
+    the records (or interpretations) it is built on and never mutates
+    afterwards. Records outside the construction population encode
+    against the same bits — leaf concepts they reach that are absent
+    from C are dropped (their signature simply lacks those bits) — so a
+    single encoder fitted on a training slab can encode an unbounded
+    stream of unseen records with stable ``num_bits`` (see
+    :meth:`fit` and DESIGN.md, "Process-sharded streaming runtime").
+
     Parameters
     ----------
     semantic_function:
@@ -122,14 +131,21 @@ class SemhashEncoder:
     def __init__(
         self, semantic_function: SemanticFunction, records: Iterable[Record]
     ) -> None:
+        interpretations: dict[str, frozenset[str]] = {
+            record.record_id: semantic_function.interpret(record)
+            for record in records
+        }
+        self._init(semantic_function, interpretations)
+
+    def _init(
+        self,
+        semantic_function: SemanticFunction,
+        interpretations: dict[str, frozenset[str]],
+    ) -> None:
         self.semantic_function = semantic_function
         forest = semantic_function.forest
-
         bit_concepts: set[str] = set()
-        interpretations: dict[str, frozenset[str]] = {}
-        for record in records:
-            zeta = semantic_function.interpret(record)
-            interpretations[record.record_id] = zeta
+        for zeta in interpretations.values():
             for concept_id in zeta:
                 bit_concepts |= forest.leaf_set(concept_id)
         if not bit_concepts:
@@ -143,6 +159,40 @@ class SemhashEncoder:
         # Memoized so the leaf expansion of each concept is resolved
         # against the bit set once per corpus, not once per record.
         self._concept_bits: dict[str, np.ndarray] = {}
+
+    @classmethod
+    def fit(
+        cls, semantic_function: SemanticFunction, sample: Iterable[Record]
+    ) -> "SemhashEncoder":
+        """Freeze an encoder from a training sample.
+
+        The returned encoder's bit set is learned from ``sample`` only;
+        it then encodes arbitrary unseen records without mutating state,
+        which is what lets :meth:`repro.core.salsh_blocker.SALSHBlocker.
+        block_stream` process slabs the encoder has never seen. A sample
+        that misses rare concepts yields a smaller C — signatures stay
+        valid (Prop. 4.2/4.3 hold over the chosen bits) but blocking
+        recall can dip for records whose only shared concepts fall
+        outside C; the streamed SA-LSH tests bound that dip.
+        """
+        return cls(semantic_function, sample)
+
+    @classmethod
+    def from_interpretations(
+        cls,
+        semantic_function: SemanticFunction,
+        interpretations: dict[str, frozenset[str]],
+    ) -> "SemhashEncoder":
+        """Build an encoder from precomputed ζ values.
+
+        The process-sharded runtime interprets record slabs in worker
+        processes and ships the ζ sets back; this constructor derives
+        the same bit set (a union is order-independent) without
+        re-interpreting anything in the parent.
+        """
+        self = cls.__new__(cls)
+        self._init(semantic_function, dict(interpretations))
+        return self
 
     @property
     def num_bits(self) -> int:
@@ -188,12 +238,25 @@ class SemhashEncoder:
         array and sets all bits with a single scatter, instead of
         per-record per-leaf dictionary lookups.
         """
+        return self.matrix_from_interpretations(
+            self.interpretation(record) for record in records
+        )
+
+    def matrix_from_interpretations(
+        self, zetas: Iterable[frozenset[str]]
+    ) -> np.ndarray:
+        """Signature stack from precomputed ζ values, one row per set.
+
+        The scatter core of :meth:`signature_matrix`, exposed so the
+        process-sharded runtime can encode worker-interpreted slabs
+        without Record objects.
+        """
         row_parts: list[np.ndarray] = []
         col_parts: list[np.ndarray] = []
         num_rows = 0
-        for row, record in enumerate(records):
+        for row, zeta in enumerate(zetas):
             num_rows += 1
-            for concept_id in self.interpretation(record):
+            for concept_id in zeta:
                 bits = self._bits_for(concept_id)
                 if bits.size:
                     col_parts.append(bits)

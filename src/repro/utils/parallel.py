@@ -1,4 +1,4 @@
-"""Thread-parallel execution of independent array chunks.
+"""Thread- and process-parallel execution of independent work units.
 
 The batch signature engine splits its work over hash-function chunks
 that touch disjoint output slices (see DESIGN.md, "Parallel & streaming
@@ -6,13 +6,21 @@ runtime"). Those chunks are dominated by numpy kernels — the exact
 modular multiply, fancy-indexed gathers and ``np.minimum.reduceat`` —
 which release the GIL on large arrays, so plain threads scale across
 cores without pickling the corpus into worker processes.
+
+The ``processes=`` runtime (DESIGN.md, "Process-sharded streaming
+runtime") complements it for the GIL-bound hot loops — string
+shingling, semantic interpretation, bucket grouping — by mapping
+picklable payloads over a :class:`~concurrent.futures.ProcessPoolExecutor`:
+record slabs and band-key shards are evaluated in worker processes and
+reassembled deterministically, so any process count produces
+byte-identical blocks.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Sequence
 
 from repro.errors import ConfigurationError
 
@@ -24,6 +32,40 @@ def resolve_workers(workers: int | None) -> int:
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1 or None, got {workers}")
     return workers
+
+
+def resolve_processes(processes: int | None) -> int:
+    """Normalise a ``processes=`` argument: ``None`` means all CPUs."""
+    if processes is None:
+        return os.cpu_count() or 1
+    if processes < 1:
+        raise ConfigurationError(
+            f"processes must be >= 1 or None, got {processes}"
+        )
+    return processes
+
+
+def map_processes(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    processes: int | None = 1,
+) -> list[Any]:
+    """Map ``fn`` over payloads on a process pool, preserving order.
+
+    ``fn`` must be a module-level function and every payload (and
+    result) picklable — the contract of
+    :class:`~concurrent.futures.ProcessPoolExecutor`. With
+    ``processes<=1`` (or a single payload) the map runs serially in
+    this process, so results are identical for every process count;
+    parallelism only changes who executes the payloads. Exceptions
+    propagate to the caller.
+    """
+    payloads = list(payloads)
+    effective = min(resolve_processes(processes), len(payloads))
+    if effective <= 1:
+        return [fn(payload) for payload in payloads]
+    with ProcessPoolExecutor(max_workers=effective) as pool:
+        return list(pool.map(fn, payloads))
 
 
 def chunk_spans(total: int, per_chunk: int) -> list[tuple[int, int]]:

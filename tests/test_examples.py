@@ -71,3 +71,11 @@ def test_end_to_end_resolution_runs():
     result = run_example("end_to_end_resolution.py")
     assert result.returncode == 0, result.stderr
     assert "resolution quality" in result.stdout
+
+
+def test_streaming_sharded_runs():
+    # Reduced corpus; the script asserts streamed-vs-batch and
+    # sharded-vs-serial block identity internally.
+    result = run_example("streaming_sharded.py", "800")
+    assert result.returncode == 0, result.stderr
+    assert "identical to batch blocks" in result.stdout
