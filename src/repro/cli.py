@@ -16,6 +16,7 @@ forest) and every survey technique at its default grid setting.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Sequence
 
@@ -38,6 +39,7 @@ from repro.semantic import (
     cora_patterns,
 )
 from repro.taxonomy.builders import bibliographic_tree
+from repro.utils.parallel import ShardPool
 
 #: Built-in semantic domains for the salsh technique.
 SEMANTIC_DOMAINS = ("cora", "voter")
@@ -53,7 +55,7 @@ def _semantic_function(domain: str):
     )
 
 
-def _make_blocker(args) -> object:
+def _make_blocker(args, pool: ShardPool | None = None) -> object:
     attributes = tuple(a.strip() for a in args.attributes.split(",") if a.strip())
     if not attributes:
         raise ReproError("--attributes must name at least one attribute")
@@ -63,24 +65,24 @@ def _make_blocker(args) -> object:
     if technique == "lsh":
         return LSHBlocker(
             attributes, q=args.q, k=args.k, l=args.l, seed=args.seed,
-            workers=workers, processes=processes,
+            workers=workers, processes=processes, pool=pool,
         )
     if technique == "salsh":
         return SALSHBlocker(
             attributes, q=args.q, k=args.k, l=args.l, seed=args.seed,
             semantic_function=_semantic_function(args.domain),
             w=args.w if args.w else "all", mode=args.mode,
-            workers=workers, processes=processes,
+            workers=workers, processes=processes, pool=pool,
         )
     if technique == "mplsh":
         return MultiProbeLSHBlocker(
             attributes, q=args.q, k=args.k, l=args.l, seed=args.seed,
-            workers=workers, processes=processes,
+            workers=workers, processes=processes, pool=pool,
         )
     if technique == "forest":
         return LSHForestBlocker(
             attributes, q=args.q, k=args.k, l=args.l, seed=args.seed,
-            workers=workers, processes=processes,
+            workers=workers, processes=processes, pool=pool,
         )
     for name in TECHNIQUE_ORDER:
         if technique == name.lower():
@@ -109,9 +111,30 @@ def cmd_generate(args) -> int:
 
 def cmd_block(args) -> int:
     dataset = read_csv(args.input)
-    blocker = _make_blocker(args)
-    outcome = run_blocking(blocker, dataset)
-    write_pairs_csv(outcome.result.distinct_pairs, args.out)
+    # --pooled keeps one warm ShardPool alive for the whole command, so
+    # every parallel map of the blocking stage shares one executor
+    # instead of forking afresh; without it the per-call runtime is
+    # used, preserving the previous behaviour. When --processes is not
+    # given, --pooled defaults it to all CPUs — a one-process pool
+    # would silently take the serial path and never use the pool.
+    if getattr(args, "processes", None) is None:
+        args.processes = 0 if getattr(args, "pooled", False) else 1
+    if getattr(args, "pooled", False):
+        if args.processes == 1:
+            print(
+                "note: --pooled with --processes 1 runs the serial "
+                "engine; the pool is unused",
+                file=sys.stderr,
+            )
+        pool_ctx: ShardPool | contextlib.nullcontext = ShardPool(
+            args.processes or None
+        )
+    else:
+        pool_ctx = contextlib.nullcontext()
+    with pool_ctx as pool:
+        blocker = _make_blocker(args, pool=pool)
+        outcome = run_blocking(blocker, dataset)
+        write_pairs_csv(outcome.result.distinct_pairs, args.out)
     print(
         f"{outcome.description}: {outcome.metrics.num_distinct_pairs} "
         f"candidate pairs from {len(dataset)} records "
@@ -179,11 +202,18 @@ def build_parser() -> argparse.ArgumentParser:
     block.add_argument("--workers", type=int, default=1,
                        help="threads for the batch signature engine "
                             "(0 = all CPUs); identical blocks either way")
-    block.add_argument("--processes", type=int, default=1,
+    block.add_argument("--processes", type=int, default=None,
                        help="worker processes for the sharded runtime: "
                             "record slabs are shingled/minhashed in "
                             "parallel and bucket grouping is band-sharded "
-                            "(0 = all CPUs); identical blocks either way")
+                            "(0 = all CPUs, default 1 — or all CPUs when "
+                            "--pooled is set); identical blocks either way")
+    block.add_argument("--pooled", action="store_true",
+                       help="run the sharded runtime on one persistent "
+                            "shard pool spanning all stages (warm "
+                            "executor + shared-memory slab transport) "
+                            "instead of a fresh pool per parallel map; "
+                            "identical blocks either way")
     block.add_argument("--seed", type=int, default=0)
     block.add_argument("--out", required=True)
     block.set_defaults(func=cmd_block)

@@ -46,7 +46,7 @@ from repro.minhash.shingling import Shingler
 from repro.minhash.signature import GrowableSignatureSpill
 from repro.records.dataset import Dataset
 from repro.records.record import Record
-from repro.utils.parallel import resolve_processes
+from repro.utils.parallel import ShardPool, effective_processes
 
 
 def stream_slab_signatures(
@@ -112,6 +112,13 @@ class LSHBlocker(Blocker):
         pool — escaping the GIL for the string-heavy hot loops. Blocks
         are byte-identical for every process count; applies to the
         batch engine only.
+    pool:
+        Optional persistent :class:`~repro.utils.parallel.ShardPool`
+        carrying the sharded runtime: the pool's executor stays warm
+        across repeated :meth:`block`/:meth:`block_stream` calls and
+        slabs ride shared memory instead of the executor's pipes. The
+        pool's process count wins over ``processes``; blocks stay
+        byte-identical to serial for any pool.
     """
 
     def __init__(
@@ -126,6 +133,7 @@ class LSHBlocker(Blocker):
         batch: bool = True,
         workers: int | None = 1,
         processes: int | None = 1,
+        pool: ShardPool | None = None,
         name: str | None = None,
     ) -> None:
         if k < 1 or l < 1:
@@ -138,6 +146,7 @@ class LSHBlocker(Blocker):
         self.batch = batch
         self.workers = workers
         self.processes = processes
+        self.pool = pool
         self.shingler = Shingler(self.attributes, q=q, padded=padded)
         self.hasher = MinHasher(num_hashes=k * l, seed=seed)
         self.name = name or "LSH"
@@ -152,10 +161,10 @@ class LSHBlocker(Blocker):
                     self.shingler.shingle_ids(record)
                 )
                 index.add(record.record_id, split_bands(signature, self.k, self.l))
-        elif resolve_processes(self.processes) > 1:
+        elif effective_processes(self.processes, self.pool) > 1:
             for record_ids, signatures in signature_slabs(
                 self.shingler, self.hasher, dataset, self.processes,
-                workers=self.workers,
+                workers=self.workers, pool=self.pool,
             ):
                 index.add_many(
                     record_ids, split_bands_matrix(signatures, self.k, self.l)
@@ -170,7 +179,7 @@ class LSHBlocker(Blocker):
 
     def block(self, dataset: Dataset) -> BlockingResult:
         start = time.perf_counter()
-        index = BandedLSHIndex(self.l, processes=self.processes)
+        index = BandedLSHIndex(self.l, processes=self.processes, pool=self.pool)
         self._fill_index(dataset, index)
         blocks = make_blocks(index.blocks())
         elapsed = time.perf_counter() - start
@@ -184,6 +193,7 @@ class LSHBlocker(Blocker):
                 "q": self.q,
                 "workers": self.workers,
                 "processes": self.processes,
+                "pooled": self.pool is not None,
                 "engine": "batch" if self.batch else "per-record",
             },
         )
@@ -236,20 +246,29 @@ class LSHBlocker(Blocker):
         """
         start = time.perf_counter()
         vocab = ShingleVocabulary() if vocabulary is None else vocabulary
-        index = BandedLSHIndex(self.l, processes=self.processes)
+        index = BandedLSHIndex(self.l, processes=self.processes, pool=self.pool)
         cursor = 0
         num_slabs = 0
-        for slab in slabs:
-            corpus = self.shingler.shingle_corpus(slab, vocabulary=vocab)
-            signatures = stream_slab_signatures(
-                self.hasher, corpus, signatures_out, cursor, self.workers
-            )
-            index.add_many(
-                corpus.record_ids,
-                split_bands_matrix(signatures, self.k, self.l),
-            )
-            cursor += corpus.num_records
-            num_slabs += 1
+        # An aborting stream must not leak the spill's file handle: the
+        # handle is released (header patched to the rows written so
+        # far) before the error propagates. Successful streams leave
+        # the spill open for the caller to continue or finalize.
+        try:
+            for slab in slabs:
+                corpus = self.shingler.shingle_corpus(slab, vocabulary=vocab)
+                signatures = stream_slab_signatures(
+                    self.hasher, corpus, signatures_out, cursor, self.workers
+                )
+                index.add_many(
+                    corpus.record_ids,
+                    split_bands_matrix(signatures, self.k, self.l),
+                )
+                cursor += corpus.num_records
+                num_slabs += 1
+        except BaseException:
+            if isinstance(signatures_out, GrowableSignatureSpill):
+                signatures_out.close()
+            raise
         blocks = make_blocks(index.blocks())
         elapsed = time.perf_counter() - start
         return BlockingResult(
@@ -262,6 +281,7 @@ class LSHBlocker(Blocker):
                 "q": self.q,
                 "workers": self.workers,
                 "processes": self.processes,
+                "pooled": self.pool is not None,
                 "engine": "streaming",
                 "num_slabs": num_slabs,
                 "num_records": cursor,

@@ -31,7 +31,12 @@ from repro.minhash.minhash import MinHasher, compact_vocabulary, sentinel_stream
 from repro.minhash.shingling import Shingler
 from repro.records.dataset import Dataset
 from repro.utils.hashing import MERSENNE_PRIME_61, UniversalHashFamily
-from repro.utils.parallel import chunk_spans, resolve_processes, run_chunked
+from repro.utils.parallel import (
+    ShardPool,
+    chunk_spans,
+    effective_processes,
+    run_chunked,
+)
 
 
 class _MinHasherWithRunnerUp(MinHasher):
@@ -146,6 +151,7 @@ class MultiProbeLSHBlocker(Blocker):
         batch: bool = True,
         workers: int | None = 1,
         processes: int | None = 1,
+        pool: ShardPool | None = None,
         name: str | None = None,
     ) -> None:
         if k < 1 or l < 1:
@@ -163,6 +169,7 @@ class MultiProbeLSHBlocker(Blocker):
         self.batch = batch
         self.workers = workers
         self.processes = processes
+        self.pool = pool
         self.shingler = Shingler(self.attributes, q=q)
         self.hasher = _MinHasherWithRunnerUp(num_hashes=k * l, seed=seed)
         self.name = name or "MP-LSH"
@@ -174,7 +181,7 @@ class MultiProbeLSHBlocker(Blocker):
         )
 
     def _block_batch(self, dataset: Dataset) -> list[list[str]]:
-        if resolve_processes(self.processes) > 1 and len(dataset):
+        if effective_processes(self.processes, self.pool) > 1 and len(dataset):
             # Record slabs shingled/minhashed across processes; the
             # concatenated matrices equal the one-shot pass byte for
             # byte, so the probe grouping below is unchanged. (An empty
@@ -182,7 +189,7 @@ class MultiProbeLSHBlocker(Blocker):
             # handles it.)
             parts = runner_up_signature_slabs(
                 self.shingler, self.hasher, dataset, self.processes,
-                workers=self.workers,
+                workers=self.workers, pool=self.pool,
             )
             record_ids = tuple(rid for p in parts for rid in p[0])
             minima = np.concatenate([p[1] for p in parts])
@@ -311,6 +318,7 @@ class LSHForestBlocker(Blocker):
         batch: bool = True,
         workers: int | None = 1,
         processes: int | None = 1,
+        pool: ShardPool | None = None,
         name: str | None = None,
     ) -> None:
         if k < 1 or l < 1:
@@ -328,6 +336,7 @@ class LSHForestBlocker(Blocker):
         self.batch = batch
         self.workers = workers
         self.processes = processes
+        self.pool = pool
         self.shingler = Shingler(self.attributes, q=q)
         self.hasher = MinHasher(num_hashes=k * l, seed=seed)
         self.name = name or "LSH-Forest"
@@ -360,10 +369,10 @@ class LSHForestBlocker(Blocker):
 
     def _signatures(self, dataset: Dataset) -> tuple[tuple[str, ...], np.ndarray]:
         if self.batch:
-            if resolve_processes(self.processes) > 1 and len(dataset):
+            if effective_processes(self.processes, self.pool) > 1 and len(dataset):
                 parts = signature_slabs(
                     self.shingler, self.hasher, dataset, self.processes,
-                    workers=self.workers,
+                    workers=self.workers, pool=self.pool,
                 )
                 return (
                     tuple(rid for p in parts for rid in p[0]),

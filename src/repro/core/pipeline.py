@@ -29,6 +29,7 @@ from repro.semantic.analysis import (
 )
 from repro.semantic.interpretation import SemanticFunction
 from repro.semantic.semhash import SemhashEncoder
+from repro.utils.parallel import ShardPool
 
 
 @dataclass(frozen=True)
@@ -41,7 +42,11 @@ class PipelineConfig:
     (threads over hash-function chunks; ``None`` = all CPUs);
     ``processes`` to its process-sharded runtime (record-slab
     signatures + band-sharded grouping; blocks are byte-identical for
-    any count).
+    any count). ``pool`` hands the blocker a persistent
+    :class:`~repro.utils.parallel.ShardPool`, so the blocking stage of
+    repeated pipeline runs shares one warm executor with shared-memory
+    slab transport (tuning and evaluation are serial); the pool's
+    process count wins over ``processes``.
     """
 
     attributes: tuple[str, ...]
@@ -56,6 +61,7 @@ class PipelineConfig:
     mode: str | None = None
     workers: int | None = 1
     processes: int | None = 1
+    pool: ShardPool | None = None
 
 
 @dataclass(frozen=True)
@@ -114,6 +120,7 @@ def run_pipeline(
             config.attributes, q=config.q,
             k=parameters.k, l=parameters.l, seed=config.seed,
             workers=config.workers, processes=config.processes,
+            pool=config.pool,
         )
     else:
         quality = analyse_semantic_features(training, semantic_function)
@@ -129,6 +136,7 @@ def run_pipeline(
             k=parameters.k, l=parameters.l, seed=config.seed,
             semantic_function=semantic_function, w=w, mode=mode,
             workers=config.workers, processes=config.processes,
+            pool=config.pool,
         )
 
     outcome = run_blocking(blocker, dataset)

@@ -20,7 +20,7 @@ from repro.core.lsh_blocker import stream_slab_signatures
 from repro.errors import ConfigurationError
 from repro.lsh.bands import split_bands, split_bands_matrix
 from repro.lsh.index import BandedLSHIndex
-from repro.lsh.sharding import semantic_signature_slabs
+from repro.lsh.sharding import semantic_signature_slabs, signature_slabs
 from repro.minhash.corpus import ShingleVocabulary
 from repro.minhash.minhash import MinHasher
 from repro.minhash.shingling import Shingler
@@ -30,7 +30,7 @@ from repro.records.record import Record
 from repro.semantic.hashing import WWaySemanticHashFamily
 from repro.semantic.interpretation import SemanticFunction
 from repro.semantic.semhash import SemhashEncoder
-from repro.utils.parallel import resolve_processes
+from repro.utils.parallel import ShardPool, effective_processes
 
 
 class SALSHBlocker(Blocker):
@@ -61,6 +61,12 @@ class SALSHBlocker(Blocker):
         parallel processes, and bucket grouping is band-sharded across
         the same pool. Byte-identical blocks for every process count;
         applies to the batch engine only.
+    pool:
+        Optional persistent :class:`~repro.utils.parallel.ShardPool`:
+        the sharded runtime reuses its warm executor across repeated
+        blocking calls (the pool's process count wins over
+        ``processes``) and slabs ride shared memory. Blocks stay
+        byte-identical to serial for any pool.
     """
 
     def __init__(
@@ -78,6 +84,7 @@ class SALSHBlocker(Blocker):
         batch: bool = True,
         workers: int | None = 1,
         processes: int | None = 1,
+        pool: ShardPool | None = None,
         name: str | None = None,
     ) -> None:
         if k < 1 or l < 1:
@@ -94,6 +101,7 @@ class SALSHBlocker(Blocker):
         self.batch = batch
         self.workers = workers
         self.processes = processes
+        self.pool = pool
         self.semantic_function = semantic_function
         self.shingler = Shingler(self.attributes, q=q, padded=padded)
         self.hasher = MinHasher(num_hashes=k * l, seed=seed)
@@ -116,7 +124,13 @@ class SALSHBlocker(Blocker):
 
     def block(self, dataset: Dataset) -> BlockingResult:
         start = time.perf_counter()
-        if self.batch and resolve_processes(self.processes) > 1:
+        if not len(dataset):
+            # An empty corpus has no interpretations to derive semhash
+            # bits from; every engine (serial, sharded, pooled) returns
+            # empty blocks instead of tripping the encoder's
+            # no-concepts error.
+            return self._empty_result(start)
+        if self.batch and effective_processes(self.processes, self.pool) > 1:
             return self._block_sharded(dataset, start)
 
         # Semantic-function build time is reported separately (the SF
@@ -176,6 +190,27 @@ class SALSHBlocker(Blocker):
                 "sf_seconds": sf_seconds,
                 "workers": self.workers,
                 "processes": self.processes,
+                "pooled": self.pool is not None,
+                "engine": "batch" if self.batch else "per-record",
+            },
+        )
+
+    def _empty_result(self, start: float) -> BlockingResult:
+        return BlockingResult(
+            blocker_name=self.name,
+            blocks=(),
+            seconds=time.perf_counter() - start,
+            metadata={
+                "k": self.k,
+                "l": self.l,
+                "q": self.q,
+                "w": self.w,
+                "mode": self.mode,
+                "num_semantic_bits": 0,
+                "sf_seconds": 0.0,
+                "workers": self.workers,
+                "processes": self.processes,
+                "pooled": self.pool is not None,
                 "engine": "batch" if self.batch else "per-record",
             },
         )
@@ -190,30 +225,61 @@ class SALSHBlocker(Blocker):
         vectorized scatter, and bulk-inserts with per-slab gate
         entries. Cross-slab bucket merging plus band-sharded grouping
         make the blocks byte-identical to the serial batch engine.
+
+        On a persistent pool the derived semantic state — the frozen
+        encoder and per-slab semhash matrices, pure functions of
+        (semantic function, corpus, slab layout) — is memoised for the
+        pool's lifetime, so repeated calls over one corpus skip the
+        worker-side re-interpretation and the parent-side re-encode;
+        the workers then run the plain signature map. Blocks are
+        byte-identical either way.
         """
-        slabs = semantic_signature_slabs(
-            self.shingler, self.hasher, self.semantic_function,
-            dataset, self.processes, workers=self.workers,
+        memo_key = ("salsh-semantic", self.semantic_function)
+        cached = (
+            self.pool.get_memo(dataset, memo_key)
+            if self.pool is not None
+            else None
         )
-        # sf_seconds covers the parent-side bit-set fix + semhash
-        # encode; per-record interpretation time is folded into the
-        # parallel slab pass and not separable from minhashing.
-        sf_start = time.perf_counter()
-        interpretations: dict[str, frozenset[str]] = {}
-        for record_ids, _, zetas in slabs:
-            interpretations.update(zip(record_ids, zetas))
-        encoder = SemhashEncoder.from_interpretations(
-            self.semantic_function, interpretations
-        )
-        semhash_slabs = [
-            encoder.matrix_from_interpretations(zetas)
-            for _, _, zetas in slabs
-        ]
-        sf_seconds = time.perf_counter() - sf_start
+        if cached is None:
+            slabs = semantic_signature_slabs(
+                self.shingler, self.hasher, self.semantic_function,
+                dataset, self.processes, workers=self.workers, pool=self.pool,
+            )
+            # sf_seconds covers the parent-side bit-set fix + semhash
+            # encode; per-record interpretation time is folded into the
+            # parallel slab pass and not separable from minhashing.
+            sf_start = time.perf_counter()
+            interpretations: dict[str, frozenset[str]] = {}
+            for record_ids, _, zetas in slabs:
+                interpretations.update(zip(record_ids, zetas))
+            encoder = SemhashEncoder.from_interpretations(
+                self.semantic_function, interpretations
+            )
+            semhash_slabs = [
+                encoder.matrix_from_interpretations(zetas)
+                for _, _, zetas in slabs
+            ]
+            sf_seconds = time.perf_counter() - sf_start
+            signature_parts = [
+                (record_ids, signatures) for record_ids, signatures, _ in slabs
+            ]
+            if self.pool is not None:
+                self.pool.set_memo(
+                    dataset, memo_key, (encoder, semhash_slabs)
+                )
+        else:
+            encoder, semhash_slabs = cached
+            signature_parts = signature_slabs(
+                self.shingler, self.hasher, dataset, self.processes,
+                workers=self.workers, pool=self.pool,
+            )
+            sf_seconds = 0.0
 
         gates = self._gates(encoder.num_bits)
-        index = BandedLSHIndex(self.l, processes=self.processes)
-        for (record_ids, signatures, _), semhash in zip(slabs, semhash_slabs):
+        index = BandedLSHIndex(self.l, processes=self.processes, pool=self.pool)
+        for (record_ids, signatures), semhash in zip(
+            signature_parts, semhash_slabs
+        ):
             entries = [
                 gates.gate_entries(table, semhash) for table in range(self.l)
             ]
@@ -238,6 +304,7 @@ class SALSHBlocker(Blocker):
                 "sf_seconds": sf_seconds,
                 "workers": self.workers,
                 "processes": self.processes,
+                "pooled": self.pool is not None,
                 "engine": "sharded",
             },
         )
@@ -284,26 +351,34 @@ class SALSHBlocker(Blocker):
         start = time.perf_counter()
         vocab = ShingleVocabulary() if vocabulary is None else vocabulary
         gates = self._gates(encoder.num_bits)
-        index = BandedLSHIndex(self.l, processes=self.processes)
+        index = BandedLSHIndex(self.l, processes=self.processes, pool=self.pool)
         cursor = 0
         num_slabs = 0
-        for slab in slabs:
-            records = slab if isinstance(slab, (list, tuple)) else list(slab)
-            corpus = self.shingler.shingle_corpus(records, vocabulary=vocab)
-            signatures = stream_slab_signatures(
-                self.hasher, corpus, signatures_out, cursor, self.workers
-            )
-            semhash = encoder.signature_matrix(records)
-            entries = [
-                gates.gate_entries(table, semhash) for table in range(self.l)
-            ]
-            index.add_many(
-                corpus.record_ids,
-                split_bands_matrix(signatures, self.k, self.l),
-                gate_entries=entries,
-            )
-            cursor += corpus.num_records
-            num_slabs += 1
+        # As in the LSH streaming path: an aborting stream releases the
+        # spill's file handle before the error propagates; successful
+        # streams leave it open for the caller to continue or finalize.
+        try:
+            for slab in slabs:
+                records = slab if isinstance(slab, (list, tuple)) else list(slab)
+                corpus = self.shingler.shingle_corpus(records, vocabulary=vocab)
+                signatures = stream_slab_signatures(
+                    self.hasher, corpus, signatures_out, cursor, self.workers
+                )
+                semhash = encoder.signature_matrix(records)
+                entries = [
+                    gates.gate_entries(table, semhash) for table in range(self.l)
+                ]
+                index.add_many(
+                    corpus.record_ids,
+                    split_bands_matrix(signatures, self.k, self.l),
+                    gate_entries=entries,
+                )
+                cursor += corpus.num_records
+                num_slabs += 1
+        except BaseException:
+            if isinstance(signatures_out, GrowableSignatureSpill):
+                signatures_out.close()
+            raise
         blocks = make_blocks(index.blocks())
         elapsed = time.perf_counter() - start
         return BlockingResult(
@@ -319,6 +394,7 @@ class SALSHBlocker(Blocker):
                 "num_semantic_bits": encoder.num_bits,
                 "workers": self.workers,
                 "processes": self.processes,
+                "pooled": self.pool is not None,
                 "engine": "streaming",
                 "num_slabs": num_slabs,
                 "num_records": cursor,

@@ -36,7 +36,7 @@ from typing import Callable, Hashable, Iterable, Sequence
 
 import numpy as np
 
-from repro.utils.parallel import resolve_processes
+from repro.utils.parallel import ShardPool, effective_processes
 
 GateFn = Callable[[int, str], Sequence[Hashable]]
 #: A gate takes (table_index, record_id) and returns the bucket-key
@@ -175,14 +175,23 @@ class BandedLSHIndex:
     streaming runtime"): entries are hashed to disjoint label shards,
     each grouped by a worker process, and re-emitted in global
     first-occurrence order — :meth:`blocks` is byte-identical for every
-    process count.
+    process count. ``pool`` runs that grouping on a persistent
+    :class:`~repro.utils.parallel.ShardPool` (its process count wins)
+    instead of forking a fresh executor per grouping pass.
     """
 
-    def __init__(self, num_tables: int, *, processes: int | None = 1) -> None:
+    def __init__(
+        self,
+        num_tables: int,
+        *,
+        processes: int | None = 1,
+        pool: ShardPool | None = None,
+    ) -> None:
         if num_tables < 1:
             raise ValueError(f"need at least one table, got {num_tables}")
         self.num_tables = num_tables
         self.processes = processes
+        self.pool = pool
         self._tables: list[dict[Hashable, list[str]]] = [
             defaultdict(list) for _ in range(num_tables)
         ]
@@ -297,11 +306,13 @@ class BandedLSHIndex:
                 self._table_entries(table, slabs, ids_all, bases)
                 for table in range(self.num_tables)
             ]
-            if resolve_processes(self.processes) > 1:
+            if effective_processes(self.processes, self.pool) > 1:
                 # Lazy import: sharding's workers import this module.
                 from repro.lsh.sharding import group_tables_sharded
 
-                bulk = group_tables_sharded(entries, self.processes)
+                bulk = group_tables_sharded(
+                    entries, self.processes, pool=self.pool
+                )
             else:
                 for table, entry in enumerate(entries):
                     bulk[table] = self._group_entries(entry)

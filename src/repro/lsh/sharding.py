@@ -33,7 +33,11 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.records.record import Record
-from repro.utils.parallel import map_processes, resolve_processes
+from repro.utils.parallel import (
+    ShardPool,
+    effective_processes,
+    map_processes,
+)
 
 #: Multiplier of the label-folding hash (the 64-bit golden ratio, as in
 #: splitmix64) — fixed so shard routing is deterministic across runs
@@ -80,7 +84,30 @@ def _semantic_slab(payload):
     )
 
 
-def signature_slabs(shingler, hasher, records, processes, *, workers=1):
+def _pooled_slabs(records, processes, pool):
+    """Cut ``records`` into slabs, interning them on the pool if one is
+    given.
+
+    The interning key is the original ``records`` object (typically the
+    Dataset) plus the slab layout, so repeated blocking calls over the
+    same corpus reuse the parked slab files without even re-cutting the
+    record list — the slab *contents* are identical either way, and all
+    three slab flavours share one parked copy per corpus.
+    """
+    layout = effective_processes(processes, pool)
+    if pool is not None:
+        cached = pool.get_interned_slabs(records, layout)
+        if cached is not None:
+            return cached
+    slabs = record_slabs(list(records), layout)
+    if pool is not None:
+        slabs = pool.intern_slabs(records, layout, slabs)
+    return slabs
+
+
+def signature_slabs(
+    shingler, hasher, records, processes, *, workers=1, pool=None
+):
     """Shingle + minhash record slabs across processes.
 
     Returns one ``(record_ids, signature_matrix)`` tuple per slab, in
@@ -89,32 +116,37 @@ def signature_slabs(shingler, hasher, records, processes, *, workers=1):
     signatures do not depend on). ``workers`` threads evaluate each
     slab's hash-function chunks *inside* its worker process, so the two
     knobs compose (processes × workers) instead of one silently
-    disabling the other.
+    disabling the other. ``pool`` runs the map on a persistent
+    :class:`~repro.utils.parallel.ShardPool` (its process count also
+    sets the slab layout) instead of a per-call executor, and interns
+    the record slabs so repeated calls over one corpus stop
+    re-pickling them.
     """
-    records = list(records)
-    slabs = record_slabs(records, resolve_processes(processes))
+    slabs = _pooled_slabs(records, processes, pool)
     return map_processes(
         _plain_slab,
         [(shingler, hasher, slab, workers) for slab in slabs],
         processes,
+        pool=pool,
     )
 
 
 def runner_up_signature_slabs(
-    shingler, hasher, records, processes, *, workers=1
+    shingler, hasher, records, processes, *, workers=1, pool=None
 ):
     """Like :func:`signature_slabs` for minima + runner-up matrices."""
-    records = list(records)
-    slabs = record_slabs(records, resolve_processes(processes))
+    slabs = _pooled_slabs(records, processes, pool)
     return map_processes(
         _runner_up_slab,
         [(shingler, hasher, slab, workers) for slab in slabs],
         processes,
+        pool=pool,
     )
 
 
 def semantic_signature_slabs(
-    shingler, hasher, semantic_function, records, processes, *, workers=1
+    shingler, hasher, semantic_function, records, processes, *,
+    workers=1, pool=None,
 ):
     """Shingle + minhash + interpret record slabs across processes.
 
@@ -124,12 +156,12 @@ def semantic_signature_slabs(
     inside the workers — the parent derives the semhash bit set from
     the shipped ζ sets without re-interpreting anything.
     """
-    records = list(records)
-    slabs = record_slabs(records, resolve_processes(processes))
+    slabs = _pooled_slabs(records, processes, pool)
     return map_processes(
         _semantic_slab,
         [(shingler, hasher, semantic_function, slab, workers) for slab in slabs],
         processes,
+        pool=pool,
     )
 
 
@@ -172,23 +204,25 @@ def _segment_shard(payload):
     return [(table, _segment(labels)) for table, labels in payload]
 
 
-def group_tables_sharded(entries, processes):
+def group_tables_sharded(entries, processes, pool: "ShardPool | None" = None):
     """Group per-table entries into buckets across process shards.
 
     ``entries`` is one ``(entry_ids, labels)`` pair (or ``None``) per
     table, in serial entry order — the output of
     ``BandedLSHIndex._table_entries``. Entries are routed to
-    ``resolve_processes(processes)`` shards by label hash; each shard
-    sort-and-segments its disjoint label subset, and the merged buckets
-    are re-emitted by ascending global first-occurrence position —
-    byte-identical to the serial grouping (members ascend within each
-    bucket because shard subsets preserve relative entry order).
+    ``effective_processes(processes, pool)`` shards by label hash; each
+    shard sort-and-segments its disjoint label subset, and the merged
+    buckets are re-emitted by ascending global first-occurrence
+    position — byte-identical to the serial grouping (members ascend
+    within each bucket because shard subsets preserve relative entry
+    order). With ``pool`` set the shards run on the persistent pool and
+    each shard's label arrays ride as shared-memory slabs.
 
     Returns one ``_BulkBuckets`` (or ``None``) per table.
     """
     from repro.lsh.index import _BulkBuckets
 
-    num_shards = resolve_processes(processes)
+    num_shards = effective_processes(processes, pool)
     payloads: list[list] = [[] for _ in range(num_shards)]
     selections: dict[tuple[int, int], np.ndarray] = {}
     for table, entry in enumerate(entries):
@@ -202,7 +236,7 @@ def group_tables_sharded(entries, processes):
                 continue
             selections[(shard, table)] = chosen
             payloads[shard].append((table, labels[chosen]))
-    results = map_processes(_segment_shard, payloads, processes)
+    results = map_processes(_segment_shard, payloads, processes, pool=pool)
 
     merged: list = [None] * len(entries)
     parts: dict[int, list] = {}

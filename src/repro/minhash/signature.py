@@ -46,9 +46,28 @@ class SignatureMatrix:
     matrix: np.ndarray
 
     def row(self, record_id: str) -> np.ndarray:
-        """Signature of one record (linear scan; use indices in bulk code)."""
-        index = self.record_ids.index(record_id)
+        """Signature of one record (O(1) via a lazily built id index).
+
+        Raises :class:`KeyError` for unknown ids (previously a
+        ``ValueError`` from the linear ``list.index`` scan).
+        """
+        index = self._row_index().get(record_id)
+        if index is None:
+            raise KeyError(record_id)
         return self.matrix[index]
+
+    def _row_index(self) -> dict[str, int]:
+        """id → row mapping, built once on first lookup.
+
+        The dataclass is frozen, so the cache is stashed through
+        ``object.__setattr__``; ``record_ids`` never mutates, which
+        keeps the mapping valid for the matrix's lifetime.
+        """
+        cached = self.__dict__.get("_row_index_cache")
+        if cached is None:
+            cached = {rid: i for i, rid in enumerate(self.record_ids)}
+            object.__setattr__(self, "_row_index_cache", cached)
+        return cached
 
     @property
     def num_records(self) -> int:
@@ -104,6 +123,14 @@ def open_signature_memmap(
 #: 128 bytes and leave room for any shape below 2**32 rows.
 _SPILL_HEADER_LEN = 118
 
+#: Bytes of the ``.npy`` magic string, version and header-length field
+#: that precede the header dict.
+_SPILL_MAGIC_LEN = 10
+
+#: File offset where a spill's row data starts — everything before it
+#: is the fixed-length ``.npy`` preamble.
+SPILL_DATA_OFFSET = _SPILL_MAGIC_LEN + _SPILL_HEADER_LEN
+
 
 def _spill_header(shape: tuple[int, int]) -> bytes:
     """A version-1.0 ``.npy`` header for a C-order uint64 array, padded
@@ -140,6 +167,13 @@ class GrowableSignatureSpill:
     Until :meth:`finalize` runs the file's header undersells the data
     (readers see zero rows); after it the file is a plain ``.npy`` that
     any later process can ``np.load(path, mmap_mode="r")``.
+
+    The spill is a context manager: ``with GrowableSignatureSpill(...)``
+    guarantees the file handle is released (and the header patched to
+    the rows written so far) even when the stream aborts mid-way —
+    the ``block_stream`` spill paths use the same :meth:`close` on
+    error, so an interrupted stream leaves a valid, salvageable
+    ``.npy`` instead of a leaked handle over a zero-row file.
     """
 
     def __init__(self, path: str | os.PathLike, num_hashes: int) -> None:
@@ -185,9 +219,7 @@ class GrowableSignatureSpill:
         n = matrix.shape[0]
         if n == 0:
             return np.empty((0, self.num_hashes), dtype=np.uint64)
-        offset = (
-            _SPILL_HEADER_LEN + 10 + self._rows * 8 * self.num_hashes
-        )
+        offset = SPILL_DATA_OFFSET + self._rows * 8 * self.num_hashes
         self._file.write(np.ascontiguousarray(matrix).tobytes())
         self._file.flush()
         self._rows += n
@@ -203,14 +235,29 @@ class GrowableSignatureSpill:
         memory map is read-only; an empty stream finalizes to a valid
         ``(0, num_hashes)`` array.
         """
-        if self._file is not None:
-            self._file.seek(0)
-            self._file.write(_spill_header((self._rows, self.num_hashes)))
-            self._file.flush()
-            self._file.close()
-            self._file = None
+        self.close()
         return np.load(self.path, mmap_mode="r")
 
     def close(self) -> None:
-        """Alias of :meth:`finalize` for ``contextlib.closing`` use."""
-        self.finalize()
+        """Release the file handle, patching the header first.
+
+        Idempotent. The handle is closed even if the header patch
+        fails (e.g. a full disk), so an aborted stream never leaks it;
+        on the normal path the closed file is a valid ``.npy`` holding
+        every row appended so far.
+        """
+        if self._file is None:
+            return
+        file, self._file = self._file, None
+        try:
+            file.seek(0)
+            file.write(_spill_header((self._rows, self.num_hashes)))
+            file.flush()
+        finally:
+            file.close()
+
+    def __enter__(self) -> "GrowableSignatureSpill":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

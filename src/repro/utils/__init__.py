@@ -1,10 +1,18 @@
 """Small shared utilities: seeded randomness, universal hashing,
-bounded caching, and thread-parallel chunk execution."""
+bounded caching, and thread-/process-parallel execution (including
+the persistent :class:`~repro.utils.parallel.ShardPool`)."""
 
 from repro.utils.rand import derive_seed, rng_from_seed
 from repro.utils.hashing import MERSENNE_PRIME_61, UniversalHashFamily, stable_hash
 from repro.utils.cache import LRUCache
-from repro.utils.parallel import chunk_spans, resolve_workers, run_chunked
+from repro.utils.parallel import (
+    ShardPool,
+    chunk_spans,
+    map_processes,
+    resolve_processes,
+    resolve_workers,
+    run_chunked,
+)
 
 __all__ = [
     "derive_seed",
@@ -13,7 +21,10 @@ __all__ = [
     "UniversalHashFamily",
     "stable_hash",
     "LRUCache",
+    "ShardPool",
     "chunk_spans",
+    "map_processes",
+    "resolve_processes",
     "resolve_workers",
     "run_chunked",
 ]

@@ -14,30 +14,61 @@ picklable payloads over a :class:`~concurrent.futures.ProcessPoolExecutor`:
 record slabs and band-key shards are evaluated in worker processes and
 reassembled deterministically, so any process count produces
 byte-identical blocks.
+
+:class:`ShardPool` (DESIGN.md, "Persistent shard pool") makes that
+runtime amortisable: it owns one executor for its lifetime and
+transports payloads/results through shared-memory slab files instead of
+the executor's pipes, so repeated blocking calls stop paying a fresh
+fork-and-pickle round per call.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
+import pickle
+import shutil
+import tempfile
+import weakref
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Sequence
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 
 
-def resolve_workers(workers: int | None) -> int:
-    """Normalise a ``workers=`` argument: ``None`` means all CPUs."""
-    if workers is None:
+def _available_cpus() -> int:
+    """CPUs this process may actually use.
+
+    ``os.cpu_count()`` reports the machine, not the cgroup/affinity
+    limit a container grants, so ``None`` defaults used to oversubscribe
+    constrained hosts. Prefer ``os.process_cpu_count()`` (3.13+), then
+    the scheduler affinity mask, then the machine count.
+    """
+    counter = getattr(os, "process_cpu_count", None)
+    if counter is not None:
+        return counter() or 1
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
         return os.cpu_count() or 1
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a ``workers=`` argument: ``None`` means all usable CPUs."""
+    if workers is None:
+        return _available_cpus()
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1 or None, got {workers}")
     return workers
 
 
 def resolve_processes(processes: int | None) -> int:
-    """Normalise a ``processes=`` argument: ``None`` means all CPUs."""
+    """Normalise a ``processes=`` argument: ``None`` means all usable CPUs."""
     if processes is None:
-        return os.cpu_count() or 1
+        return _available_cpus()
     if processes < 1:
         raise ConfigurationError(
             f"processes must be >= 1 or None, got {processes}"
@@ -45,10 +76,458 @@ def resolve_processes(processes: int | None) -> int:
     return processes
 
 
+def effective_processes(
+    processes: int | None, pool: "ShardPool | None" = None
+) -> int:
+    """Worker count a ``processes=``/``pool=`` pair resolves to.
+
+    A pool wins: its (fixed) process count governs slab and shard
+    layout, so every call site that may run on a shared pool derives
+    identical work splits from it.
+    """
+    if pool is not None:
+        return pool.processes
+    return resolve_processes(processes)
+
+
+#: Arrays at least this large ride as memory-mapped slab files instead
+#: of pickled bytes (below it the file round-trip costs more than it
+#: saves).
+_MIN_SLAB_BYTES = 1 << 16
+
+#: Per-process counter making slab file names unique within one
+#: directory (combined with the pid, so parent and workers never
+#: collide).
+_slab_counter = itertools.count()
+
+
+def _slab_parent_dir() -> str | None:
+    """Directory slab files live in: ``/dev/shm`` (a tmpfs, so slab
+    traffic is memory traffic) when available, the default tmp dir
+    otherwise. ``REPRO_SHARDPOOL_DIR`` overrides both — useful in
+    containers whose ``/dev/shm`` is smaller than a corpus's slabs."""
+    override = os.environ.get("REPRO_SHARDPOOL_DIR")
+    if override:
+        return override
+    shm = "/dev/shm"
+    if os.path.isdir(shm) and os.access(shm, os.W_OK):
+        return shm
+    return None
+
+
+class _ArraySlab:
+    """Picklable reference to an array parked in a slab file.
+
+    Only the path crosses the process boundary; :meth:`load` reattaches
+    a read-only memory map, so the array's bytes move through the page
+    cache (tmpfs = shared memory) instead of the executor's pipes.
+    """
+
+    __slots__ = ("path",)
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def load(self) -> np.ndarray:
+        return np.load(self.path, mmap_mode="r")
+
+
+def _new_slab_path(slab_dir: str, kind: str, ext: str = ".npy") -> str:
+    return os.path.join(
+        slab_dir, f"{kind}-{os.getpid()}-{next(_slab_counter)}{ext}"
+    )
+
+
+#: Worker-side cache of loaded interned slabs, keyed by path (paths are
+#: never reused — they embed a per-process counter). Bounded: evicted
+#: entries just re-read their file on the next use.
+_INTERN_CACHE_CAPACITY = 16
+_intern_cache: "OrderedDict[str, Any]" = OrderedDict()
+
+#: Per-source cap on :meth:`ShardPool.set_memo` entries.
+_MEMO_CAPACITY = 8
+
+
+class _InternedSlab:
+    """Picklable reference to a payload piece parked once per corpus.
+
+    Unlike the per-call payload files, interned slab files persist for
+    the pool's lifetime, and workers memoise the loaded object by path
+    — so repeated blocking calls over the same corpus skip both the
+    parent-side re-pickle and the worker-side re-unpickle of the
+    record slabs.
+    """
+
+    __slots__ = ("path",)
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def load(self) -> Any:
+        cached = _intern_cache.get(self.path)
+        if cached is not None:
+            _intern_cache.move_to_end(self.path)
+            return cached
+        with open(self.path, "rb") as handle:
+            value = pickle.load(handle)
+        _intern_cache[self.path] = value
+        if len(_intern_cache) > _INTERN_CACHE_CAPACITY:
+            _intern_cache.popitem(last=False)
+        return value
+
+
+def _pack_slabs(value: Any, slab_dir: str, created: list[str]) -> Any:
+    """Replace large plain-dtype arrays in a payload/result tree with
+    :class:`_ArraySlab` references, recording every file created.
+
+    Containers with no arrays or nested containers pass through
+    unchanged (the flat-tuple fast path of :func:`_unpack_slabs`).
+    """
+    if isinstance(value, np.ndarray):
+        if value.dtype.hasobject or value.nbytes < _MIN_SLAB_BYTES:
+            return value
+        path = _new_slab_path(slab_dir, "slab")
+        np.save(path, value, allow_pickle=False)
+        created.append(path)
+        return _ArraySlab(path)
+    if isinstance(value, (tuple, list)):
+        if not any(
+            isinstance(item, (np.ndarray, tuple, list, dict)) for item in value
+        ):
+            return value
+        packed = [_pack_slabs(item, slab_dir, created) for item in value]
+        return tuple(packed) if isinstance(value, tuple) else packed
+    if isinstance(value, dict):
+        return {
+            key: _pack_slabs(item, slab_dir, created)
+            for key, item in value.items()
+        }
+    return value
+
+
+_SLAB_REFS = (_ArraySlab, _InternedSlab)
+_SLAB_CONTAINERS = (_ArraySlab, _InternedSlab, tuple, list, dict)
+
+
+def _unpack_slabs(value: Any) -> Any:
+    """Inverse of :func:`_pack_slabs`: reattach slab references.
+
+    Containers holding neither references nor nested containers are
+    returned unchanged — record-id tuples with thousands of strings
+    must not be rebuilt element by element on every call.
+    """
+    if isinstance(value, _SLAB_REFS):
+        return value.load()
+    if isinstance(value, (tuple, list)):
+        if not any(isinstance(item, _SLAB_CONTAINERS) for item in value):
+            return value
+        unpacked = [_unpack_slabs(item) for item in value]
+        return tuple(unpacked) if isinstance(value, tuple) else unpacked
+    if isinstance(value, dict):
+        return {key: _unpack_slabs(item) for key, item in value.items()}
+    return value
+
+
+def _run_pool_task(task: tuple) -> Any:
+    """Worker side of :meth:`ShardPool.map`.
+
+    Loads the packed payload (inline pickle bytes for small payloads,
+    a slab file otherwise), resolves array slabs into memory maps, runs
+    ``fn`` and packs the result's large arrays into fresh slab files —
+    only paths and small values ride the result pipe.
+    """
+    fn, blob, payload_path, slab_dir = task
+    if blob is None:
+        with open(payload_path, "rb") as handle:
+            blob = handle.read()
+    result = fn(_unpack_slabs(pickle.loads(blob)))
+    created: list[str] = []
+    try:
+        return _pack_slabs(result, slab_dir, created), created
+    except BaseException:
+        # Don't strand files written before a partial packing failure.
+        for path in created:
+            _unlink_quietly(path)
+        raise
+
+
+class ShardPool:
+    """Long-lived process pool with shared-memory slab transport.
+
+    Owns one :class:`~concurrent.futures.ProcessPoolExecutor` for its
+    lifetime (workers start on the first parallel map and stay warm),
+    so repeated blocking calls stop paying the fork-and-join round that
+    :func:`map_processes` pays per call. Payloads and results move
+    through slab files in a shared-memory directory — large arrays as
+    memory-mapped ``.npy`` slabs, the rest as one pickle file per
+    payload — instead of the executor's pipes.
+
+    :meth:`map` keeps the :func:`map_processes` contract: order
+    preserved, serial in-process fallback for ``processes=1`` (or a
+    single payload) with results identical to any parallel execution,
+    exceptions propagated. Use as a context manager (or call
+    :meth:`close`); a closed pool raises
+    :class:`~repro.errors.ConfigurationError` on further maps, so a
+    pool shut down mid-pipeline fails loudly instead of silently
+    re-forking.
+    """
+
+    def __init__(self, processes: int | None = None) -> None:
+        self.processes = resolve_processes(processes)
+        self._slab_dir = tempfile.mkdtemp(
+            prefix="repro-shardpool-", dir=_slab_parent_dir()
+        )
+        self._executor: ProcessPoolExecutor | None = None
+        self._closed = False
+        #: source object → {layout key: [_InternedSlab, ...]} — weak,
+        #: so a corpus going away releases its parked slabs (the files
+        #: linger until :meth:`close` removes the slab directory).
+        self._interned: "weakref.WeakKeyDictionary[Any, dict]" = (
+            weakref.WeakKeyDictionary()
+        )
+        #: source object → {key: derived value} — weak like the slab
+        #: cache; carries corpus-level state (e.g. SA-LSH's derived
+        #: semantic encoder) across repeated blocking calls.
+        self._memos: "weakref.WeakKeyDictionary[Any, dict]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def map(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> list[Any]:
+        """Map ``fn`` over payloads on the persistent pool, in order.
+
+        ``fn`` must be a module-level function and payloads/results
+        picklable, as for :func:`map_processes`. Arrays returned from
+        workers come back as read-only memory maps over slab files —
+        value-identical to the serial path's in-RAM arrays. Slab files
+        are unlinked as soon as both sides are done with them (the
+        maps stay valid; POSIX keeps unlinked pages mapped).
+        """
+        if self._closed:
+            raise ConfigurationError(
+                "shard pool is closed; create a new ShardPool"
+            )
+        payloads = list(payloads)
+        if self.processes <= 1 or len(payloads) <= 1:
+            # Payloads may carry interned slab references; resolve them
+            # before the in-process call, exactly as a worker would.
+            return [fn(_unpack_slabs(payload)) for payload in payloads]
+        created: list[str] = []
+        try:
+            # Packing runs inside the try so a mid-loop failure (an
+            # unpicklable payload, a full slab dir) still unlinks the
+            # files already written.
+            tasks = []
+            for payload in payloads:
+                packed = _pack_slabs(payload, self._slab_dir, created)
+                blob = pickle.dumps(packed, protocol=pickle.HIGHEST_PROTOCOL)
+                if len(blob) < _MIN_SLAB_BYTES:
+                    # Small payloads (e.g. blocker config + interned
+                    # slab references) ride the task pipe directly —
+                    # the file round-trip only pays for itself on bulk
+                    # bytes.
+                    tasks.append((fn, blob, None, self._slab_dir))
+                    continue
+                path = _new_slab_path(self._slab_dir, "payload", ".pkl")
+                with open(path, "wb") as handle:
+                    handle.write(blob)
+                created.append(path)
+                tasks.append((fn, None, path, self._slab_dir))
+            executor = self._ensure_executor()
+            futures = [
+                executor.submit(_run_pool_task, task) for task in tasks
+            ]
+            packed_results = []
+            first_error: Exception | None = None
+            for future in futures:
+                try:
+                    packed_results.append(future.result())
+                except Exception as exc:
+                    # Keep draining so completed tasks' result slabs
+                    # can be unlinked below — a failed map must not
+                    # strand files in the shared-memory directory.
+                    if first_error is None:
+                        first_error = exc
+            if first_error is not None:
+                for _packed, result_paths in packed_results:
+                    for path in result_paths:
+                        _unlink_quietly(path)
+                raise first_error
+        finally:
+            for path in created:
+                _unlink_quietly(path)
+        results = []
+        for packed, result_paths in packed_results:
+            results.append(_unpack_slabs(packed))
+            # The worker reports the slab files it created; unlink them
+            # now that the maps are attached (POSIX keeps the pages).
+            for path in result_paths:
+                _unlink_quietly(path)
+        return results
+
+    def get_interned_slabs(self, source: Any, layout: Any) -> list[Any] | None:
+        """Previously interned slab refs for ``(source, layout)``.
+
+        Returns ``None`` when absent — including for sources that
+        cannot anchor the weak cache and for serial pools — so warm
+        callers can skip rebuilding the slabs entirely on a hit.
+        """
+        if self._closed:
+            raise ConfigurationError(
+                "shard pool is closed; create a new ShardPool"
+            )
+        if self.processes <= 1:
+            return None
+        try:
+            return self._interned.setdefault(source, {}).get(layout)
+        except TypeError:
+            return None
+
+    def intern_slabs(
+        self, source: Any, layout: Any, slabs: Sequence[Any]
+    ) -> list[Any]:
+        """Park slab payload pieces once per ``(source, layout)``.
+
+        Repeated blocking calls over one corpus rebuild identical
+        record slabs; interning pickles each slab to the pool's
+        shared-memory directory *once* (keyed weakly by the source
+        object plus the deterministic layout key) and hands back path
+        references that workers memoise — later calls skip both the
+        re-pickle and the worker-side re-unpickle. ``source`` must be
+        effectively immutable for the pool's lifetime, which Dataset
+        guarantees.
+
+        Falls back to returning the slabs unchanged when ``source``
+        cannot anchor the weak cache (plain lists/generators) or the
+        pool runs serially.
+        """
+        slabs = list(slabs)
+        if self._closed:
+            raise ConfigurationError(
+                "shard pool is closed; create a new ShardPool"
+            )
+        if self.processes <= 1:
+            return slabs
+        try:
+            per_source = self._interned.setdefault(source, {})
+        except TypeError:
+            return slabs
+        refs = per_source.get(layout)
+        if refs is None:
+            refs = []
+            try:
+                for slab in slabs:
+                    # Pickle bytes, not an array — .pkl keeps the two
+                    # slab flavours distinguishable in the slab dir.
+                    path = _new_slab_path(self._slab_dir, "intern", ".pkl")
+                    with open(path, "wb") as handle:
+                        pickle.dump(
+                            slab, handle, protocol=pickle.HIGHEST_PROTOCOL
+                        )
+                    refs.append(_InternedSlab(path))
+            except BaseException:
+                for ref in refs:
+                    _unlink_quietly(ref.path)
+                raise
+            per_source[layout] = refs
+            # When the corpus is garbage-collected its parked files go
+            # with it — a long-lived pool serving many corpora must not
+            # accumulate dead pickled slabs in shared memory.
+            weakref.finalize(
+                source, _unlink_many, [ref.path for ref in refs]
+            )
+        return refs
+
+    def get_memo(self, source: Any, key: Any) -> Any:
+        """Pool-lifetime memo of a value derived from ``source``.
+
+        Returns ``None`` when absent (or when ``source`` cannot anchor
+        the weak cache). Callers memoise *pure functions of the source*
+        only — e.g. SA-LSH's semantic encoder and semhash slabs, which
+        are deterministic per (semantic function, corpus, slab layout)
+        — so a hit changes wall time, never a byte of output; the same
+        immutability contract as :meth:`intern_slabs` applies.
+        """
+        if self._closed:
+            raise ConfigurationError(
+                "shard pool is closed; create a new ShardPool"
+            )
+        try:
+            return self._memos.setdefault(source, {}).get(key)
+        except TypeError:
+            return None
+
+    def set_memo(self, source: Any, key: Any, value: Any) -> None:
+        """Store a derived value for :meth:`get_memo` (best effort).
+
+        Per-source memos are bounded: callers that key by object
+        identity (e.g. a semantic-function instance rebuilt per call)
+        would otherwise grow the memo once per call for the pool's
+        lifetime; beyond the cap the oldest entry is evicted — a later
+        miss just recomputes.
+        """
+        try:
+            per_source = self._memos.setdefault(source, {})
+        except TypeError:
+            return
+        per_source[key] = value
+        while len(per_source) > _MEMO_CAPACITY:
+            per_source.pop(next(iter(per_source)))
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.processes)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the executor down and remove the slab directory.
+
+        Idempotent. Memory maps already handed out stay valid (their
+        pages outlive the unlinked files); new :meth:`map` calls raise
+        :class:`~repro.errors.ConfigurationError`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        shutil.rmtree(self._slab_dir, ignore_errors=True)
+
+
+def _unlink_quietly(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:  # pragma: no cover - already gone / dir removed
+        pass
+
+
+def _unlink_many(paths: list[str]) -> None:
+    for path in paths:
+        _unlink_quietly(path)
+
+
 def map_processes(
     fn: Callable[[Any], Any],
     payloads: Sequence[Any],
     processes: int | None = 1,
+    *,
+    pool: ShardPool | None = None,
 ) -> list[Any]:
     """Map ``fn`` over payloads on a process pool, preserving order.
 
@@ -59,13 +538,20 @@ def map_processes(
     this process, so results are identical for every process count;
     parallelism only changes who executes the payloads. Exceptions
     propagate to the caller.
+
+    With ``pool`` set the map runs on that persistent
+    :class:`ShardPool` (its process count wins over ``processes``) —
+    same ordering and serial-fallback contract, but fork and slab
+    transport costs are amortised across calls.
     """
+    if pool is not None:
+        return pool.map(fn, payloads)
     payloads = list(payloads)
     effective = min(resolve_processes(processes), len(payloads))
     if effective <= 1:
         return [fn(payload) for payload in payloads]
-    with ProcessPoolExecutor(max_workers=effective) as pool:
-        return list(pool.map(fn, payloads))
+    with ProcessPoolExecutor(max_workers=effective) as executor:
+        return list(executor.map(fn, payloads))
 
 
 def chunk_spans(total: int, per_chunk: int) -> list[tuple[int, int]]:

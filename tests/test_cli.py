@@ -57,6 +57,38 @@ class TestBlock:
         assert exit_code == 0
         assert isinstance(read_pairs_csv(pairs_path), set)
 
+    def test_pooled_blocking_matches_fresh_pool(self, generated_csv, tmp_path):
+        # --pooled runs the sharded runtime on one persistent shard
+        # pool spanning the command; the pairs must equal the
+        # fresh-pool-per-call --processes path.
+        fresh_path = tmp_path / "fresh.csv"
+        pooled_path = tmp_path / "pooled.csv"
+        common = [
+            "block", "--input", str(generated_csv), "--technique", "lsh",
+            "--attributes", "first_name,last_name",
+            "--q", "2", "--k", "5", "--l", "10", "--processes", "2",
+        ]
+        assert main(common + ["--out", str(fresh_path)]) == 0
+        assert main(common + ["--pooled", "--out", str(pooled_path)]) == 0
+        assert read_pairs_csv(pooled_path) == read_pairs_csv(fresh_path)
+
+    def test_pooled_without_processes_defaults_to_all_cpus(
+        self, generated_csv, tmp_path
+    ):
+        # --pooled with no --processes must not silently fall back to
+        # the serial path (a one-process pool would never be used); it
+        # defaults the process count to all CPUs instead.
+        serial_path = tmp_path / "serial.csv"
+        pooled_path = tmp_path / "pooled.csv"
+        common = [
+            "block", "--input", str(generated_csv), "--technique", "lsh",
+            "--attributes", "first_name,last_name",
+            "--q", "2", "--k", "5", "--l", "10",
+        ]
+        assert main(common + ["--out", str(serial_path)]) == 0
+        assert main(common + ["--pooled", "--out", str(pooled_path)]) == 0
+        assert read_pairs_csv(pooled_path) == read_pairs_csv(serial_path)
+
     def test_survey_technique_by_name(self, generated_csv, tmp_path):
         pairs_path = tmp_path / "pairs.csv"
         assert main([

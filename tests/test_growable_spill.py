@@ -90,6 +90,72 @@ class TestGrowableSpill:
         )
 
 
+class TestSpillLifecycle:
+    def test_close_releases_handle_and_salvages_rows(self, tmp_path):
+        spill = GrowableSignatureSpill(tmp_path / "closed.npy", 4)
+        spill.append(np.arange(12, dtype=np.uint64).reshape(3, 4))
+        spill.close()
+        assert spill.finalized
+        # The closed file is a valid .npy holding the appended rows.
+        assert np.load(tmp_path / "closed.npy").shape == (3, 4)
+        spill.close()  # idempotent
+        assert spill.finalize().shape == (3, 4)
+
+    def test_context_manager_closes(self, tmp_path):
+        with GrowableSignatureSpill(tmp_path / "ctx.npy", 4) as spill:
+            spill.append(np.zeros((2, 4), dtype=np.uint64))
+        assert spill.finalized
+        assert np.load(tmp_path / "ctx.npy").shape == (2, 4)
+
+    def test_context_manager_closes_on_error(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            with GrowableSignatureSpill(tmp_path / "err.npy", 4) as spill:
+                spill.append(np.ones((1, 4), dtype=np.uint64))
+                raise RuntimeError("stream died")
+        assert spill.finalized
+        assert np.load(tmp_path / "err.npy").shape == (1, 4)
+
+    def test_aborted_block_stream_releases_spill(self, tmp_path, voter_small):
+        # Regression: a stream aborting before finalize used to leak
+        # the spill's open handle and leave a zero-row header.
+        records = list(voter_small)
+        blocker = LSHBlocker(VOTER_ATTRS, q=2, k=4, l=6, seed=11)
+        spill = GrowableSignatureSpill(tmp_path / "abort.npy", 4 * 6)
+
+        def aborting_stream():
+            yield records[:100]
+            raise RuntimeError("upstream died")
+
+        with pytest.raises(RuntimeError):
+            blocker.block_stream(aborting_stream(), signatures_out=spill)
+        assert spill.finalized
+        salvaged = np.load(tmp_path / "abort.npy", mmap_mode="r")
+        assert salvaged.shape == (100, 4 * 6)
+
+    def test_aborted_salsh_stream_releases_spill(self, tmp_path, voter_small):
+        from repro.core import SALSHBlocker
+        from repro.semantic import SemhashEncoder, VoterSemanticFunction
+
+        records = list(voter_small)
+        sf = VoterSemanticFunction()
+        blocker = SALSHBlocker(
+            VOTER_ATTRS, q=2, k=4, l=6, seed=11, semantic_function=sf
+        )
+        encoder = SemhashEncoder(sf, records[:100])
+        spill = GrowableSignatureSpill(tmp_path / "abort-salsh.npy", 4 * 6)
+
+        def aborting_stream():
+            yield records[:50]
+            raise RuntimeError("upstream died")
+
+        with pytest.raises(RuntimeError):
+            blocker.block_stream(
+                aborting_stream(), encoder=encoder, signatures_out=spill
+            )
+        assert spill.finalized
+        assert np.load(tmp_path / "abort-salsh.npy").shape == (50, 4 * 6)
+
+
 class TestUnknownLengthStreams:
     def test_block_stream_plain_generator(self, tmp_path, voter_small):
         # End-to-end acceptance: a generator with no len(), spilled
