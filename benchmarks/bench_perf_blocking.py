@@ -23,6 +23,14 @@ per-pair Python path and the array-backed candidate-pair engine
 (DESIGN.md, "Candidate-pair engine"), reporting pairs/sec and the
 end-to-end ``pipeline_speedup`` headline.
 
+A sixth section times the *online query path* (DESIGN.md, "Resolver
+service"): single-record ``query()`` latency against a warm incremental
+index, for LSH and SA-LSH, both over a static corpus and with
+adds/removes interleaved between queries — the serving regime the
+resolver exists for. ``check_query_path`` enforces p50 < 10 ms at the
+50k ladder size (the per-query cost must stay independent of corpus
+size once the lazy query maps are built).
+
 Every run doubles as a large-scale equivalence check: blocks are
 asserted identical across per-record/batch/parallel/streamed engines,
 and the pair pipeline asserts identical pair sets, metrics,
@@ -65,8 +73,10 @@ from repro.er import SimilarityMatcher
 from repro.evaluation import evaluate_blocks, format_table
 from repro.metablocking import run_metablocking
 from repro.minhash import GrowableSignatureSpill, open_signature_memmap
+from repro.records import Record
 from repro.semantic import SemhashEncoder
 from repro.utils.parallel import ShardPool
+from repro.utils.rand import rng_from_seed
 
 from _shared import (
     SEED,
@@ -104,6 +114,14 @@ PIPELINE_K = 4
 #: Candidate-pair cap for the matcher stage (the legacy per-pair
 #: comparator dominates wall time far below the 50k ladder's edge count).
 MATCH_PAIR_CAP = 100_000
+#: Single-record queries timed per technique in the query-path rung.
+QUERY_SAMPLES = 200
+#: One add (and, two batches later, one remove) is interleaved every
+#: this many queries in the updates-interleaved scenario.
+QUERY_UPDATE_EVERY = 10
+#: p50 single-record query latency budget, asserted at 50k+ records.
+QUERY_P50_BUDGET_MS = 10.0
+QUERY_BUDGET_SIZE = 50_000
 RESULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_perf_blocking.json"
 
 
@@ -294,6 +312,85 @@ def _run_engine_pair(
     return stats
 
 
+def _latency_columns(samples: list[float], prefix: str = "") -> dict:
+    """p50/p99 columns (ms) from per-query wall times (seconds)."""
+    ms = sorted(s * 1000.0 for s in samples)
+
+    def percentile(p: float) -> float:
+        return ms[min(len(ms) - 1, round(p * (len(ms) - 1)))]
+
+    return {
+        f"{prefix}p50_ms": round(percentile(0.50), 3),
+        f"{prefix}p99_ms": round(percentile(0.99), 3),
+    }
+
+
+def _run_query_path(dataset) -> dict:
+    """Time single-record ``query()`` latency on the online indexes.
+
+    Two scenarios per technique: a static corpus (index built once, one
+    untimed warm query triggers the lazy query-map fold, then
+    QUERY_SAMPLES timed queries), and updates-interleaved (an add every
+    QUERY_UPDATE_EVERY queries, the add of two batches earlier removed
+    — so queries keep paying the incremental map extension and the
+    tombstone filtering the serving regime actually sees). Extra
+    records come from a disjoint generator seed and get fresh ``x{i}``
+    ids so they never collide with corpus ids.
+    """
+    records = list(dataset)
+    rng = rng_from_seed(SEED, "bench-query-path", len(records))
+    probes = [
+        records[i]
+        for i in sorted(
+            rng.sample(range(len(records)), min(QUERY_SAMPLES, len(records)))
+        )
+    ]
+    num_extras = len(probes) // QUERY_UPDATE_EVERY + 1
+    extras = [
+        Record(f"x{i}", dict(record.fields), entity_id=record.entity_id)
+        for i, record in enumerate(
+            NCVoterLikeGenerator(
+                num_records=num_extras, seed=SEED + 2
+            ).generate()
+        )
+    ]
+    stats: dict = {}
+    for technique, make in (("lsh", voter_lsh), ("salsh", voter_salsh)):
+        start = time.perf_counter()
+        online = make(batch=True).online(records)
+        online.query(probes[0])  # untimed: folds the lazy query maps
+        build_seconds = time.perf_counter() - start
+
+        static_samples = []
+        for probe in probes:
+            t0 = time.perf_counter()
+            online.query(probe)
+            static_samples.append(time.perf_counter() - t0)
+
+        interleaved_samples = []
+        added: list[str] = []
+        extra_iter = iter(extras)
+        for i, probe in enumerate(probes):
+            if i % QUERY_UPDATE_EVERY == 0:
+                extra = next(extra_iter, None)
+                if extra is not None:
+                    online.add(extra)
+                    added.append(extra.record_id)
+                if len(added) > 2:
+                    online.remove(added.pop(0))
+            t0 = time.perf_counter()
+            online.query(probe)
+            interleaved_samples.append(time.perf_counter() - t0)
+
+        stats[technique] = {
+            "build_seconds": round(build_seconds, 4),
+            "queries": len(probes),
+            **_latency_columns(static_samples),
+            **_latency_columns(interleaved_samples, prefix="interleaved_"),
+        }
+    return stats
+
+
 def _stage(legacy_seconds: float, array_seconds: float, pairs: int) -> dict:
     legacy_seconds = max(legacy_seconds, 1e-9)
     array_seconds = max(array_seconds, 1e-9)
@@ -452,6 +549,7 @@ def run_perf() -> dict:
             ),
             "baselines": _run_baselines(dataset),
             "pair_pipeline": _run_pair_pipeline(dataset, blocks),
+            "query_path": _run_query_path(dataset),
         }
     return report
 
@@ -548,6 +646,41 @@ def check_pooled(report: dict) -> None:
                 )
 
 
+def check_query_path(report: dict) -> None:
+    """Guard the online single-record query path.
+
+    The columns must exist for both techniques at every ladder size
+    (a missing entry means the rung silently stopped running); at the
+    50k+ sizes the static p50 must stay under QUERY_P50_BUDGET_MS —
+    the whole point of the incremental index is that a query costs a
+    handful of bucket probes, not a corpus pass. The p99 and
+    interleaved columns are recorded for trajectory, not asserted:
+    single queries are too short for tail latencies to be
+    timing-robust on shared CI hosts.
+    """
+    for n, entry in report["sizes"].items():
+        query_path = entry.get("query_path")
+        assert query_path is not None, f"size {n}: query_path columns missing"
+        for technique in ("lsh", "salsh"):
+            stats = query_path.get(technique)
+            assert stats is not None, (
+                f"size {n} {technique}: query-path columns missing"
+            )
+            for column in ("build_seconds", "p50_ms", "p99_ms",
+                           "interleaved_p50_ms", "interleaved_p99_ms"):
+                assert column in stats, (
+                    f"size {n} {technique}: query-path column "
+                    f"{column!r} missing"
+                )
+            if int(n) >= QUERY_BUDGET_SIZE:
+                p50 = stats["p50_ms"]
+                assert p50 < QUERY_P50_BUDGET_MS, (
+                    f"size {n} {technique}: single-record query p50 "
+                    f"{p50}ms >= {QUERY_P50_BUDGET_MS}ms — the query "
+                    "path is no longer corpus-size-independent"
+                )
+
+
 def _persist(report: dict) -> None:
     RESULT_JSON.write_text(json.dumps(report, indent=2) + "\n")
     rows = []
@@ -620,6 +753,30 @@ def _persist(report: dict) -> None:
                   "speedups per stage)",
         ),
     )
+    query_rows = []
+    for n, entry in report["sizes"].items():
+        for technique in ("lsh", "salsh"):
+            stats = entry["query_path"][technique]
+            query_rows.append([
+                n,
+                technique.upper(),
+                stats["build_seconds"],
+                stats["p50_ms"],
+                stats["p99_ms"],
+                stats["interleaved_p50_ms"],
+                stats["interleaved_p99_ms"],
+            ])
+    write_result(
+        "perf_query_path",
+        format_table(
+            ["records", "blocker", "build(s)", "p50(ms)", "p99(ms)",
+             "upd.p50(ms)", "upd.p99(ms)"],
+            query_rows,
+            title="Perf — online single-record query path "
+                  f"({QUERY_SAMPLES} queries, add/remove every "
+                  f"{QUERY_UPDATE_EVERY} in the upd. columns)",
+        ),
+    )
     print(f"[written to {RESULT_JSON.name}]")
 
 
@@ -639,6 +796,7 @@ def test_perf_blocking(benchmark):
     check_pair_pipeline(report)
     check_sharded_stream(report)
     check_pooled(report)
+    check_query_path(report)
 
 
 def main() -> int:
@@ -647,6 +805,7 @@ def main() -> int:
     check_pair_pipeline(report)
     check_sharded_stream(report)
     check_pooled(report)
+    check_query_path(report)
     return 0
 
 

@@ -1,4 +1,4 @@
-"""Command-line interface: generate, block, evaluate, resolve.
+"""Command-line interface: generate, block, evaluate, resolve, query.
 
 Usage (after ``pip install -e .``)::
 
@@ -8,15 +8,23 @@ Usage (after ``pip install -e .``)::
     python -m repro evaluate --input cora.csv --pairs pairs.csv
     python -m repro resolve --input cora.csv --pairs pairs.csv \
         --attributes authors,title
+    python -m repro query --input cora.csv --queries probes.csv \
+        --technique lsh --attributes authors,title
+    python -m repro serve-batch --input cora.csv --ops ops.csv \
+        --technique lsh --attributes authors,title
 
 ``block`` supports the library's own blockers (lsh, salsh, mplsh,
 forest) and every survey technique at its default grid setting.
+``query`` and ``serve-batch`` run the online resolver service — a
+blocking-first single-record query path over an incremental index —
+and therefore accept only the four online-capable techniques.
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import csv
 import sys
 from typing import Sequence
 
@@ -28,10 +36,21 @@ from repro.core import (
     SALSHBlocker,
 )
 from repro.datasets import CoraLikeGenerator, NCVoterLikeGenerator
-from repro.er import SimilarityMatcher, evaluate_resolution, resolve
+from repro.er import (
+    Resolver,
+    SimilarityMatcher,
+    evaluate_resolution,
+    resolve,
+)
 from repro.errors import ReproError
 from repro.evaluation import evaluate_blocks, run_blocking
-from repro.records import read_csv, read_pairs_csv, write_csv, write_pairs_csv
+from repro.records import (
+    Record,
+    read_csv,
+    read_pairs_csv,
+    write_csv,
+    write_pairs_csv,
+)
 from repro.core.base import BlockingResult
 from repro.semantic import (
     PatternSemanticFunction,
@@ -93,6 +112,106 @@ def _make_blocker(args, pool: ShardPool | None = None) -> object:
     )
 
 
+def _pool_context(args) -> "ShardPool | contextlib.nullcontext":
+    """The --pooled / --processes contract shared by block and query.
+
+    ``--pooled`` keeps one warm ShardPool alive for the whole command,
+    so every parallel map shares one executor instead of forking
+    afresh; without it the per-call runtime is used. When
+    ``--processes`` is not given, ``--pooled`` defaults it to all CPUs
+    — a one-process pool would silently take the serial path and never
+    use the pool.
+    """
+    if getattr(args, "processes", None) is None:
+        args.processes = 0 if getattr(args, "pooled", False) else 1
+    if not getattr(args, "pooled", False):
+        return contextlib.nullcontext()
+    if args.processes == 1:
+        print(
+            "note: --pooled with --processes 1 runs the serial "
+            "engine; the pool is unused",
+            file=sys.stderr,
+        )
+    return ShardPool(args.processes or None)
+
+
+def _resolver_from_args(args, dataset, pool: ShardPool | None) -> Resolver:
+    """A warm :class:`Resolver` over ``dataset`` per the CLI arguments."""
+    blocker = _make_blocker(args, pool=pool)
+    if getattr(blocker, "online", None) is None:
+        raise ReproError(
+            f"technique {args.technique!r} has no online index; "
+            "query/serve-batch support: lsh, salsh, mplsh, forest"
+        )
+    matcher = SimilarityMatcher(
+        {a: args.similarity for a in blocker.attributes},
+        match_threshold=args.match_threshold,
+        possible_threshold=args.possible_threshold,
+    )
+    return Resolver(blocker, dataset, matcher=matcher)
+
+
+#: Output columns of ``query`` and ``serve-batch``.
+_RESULT_COLUMNS = ("query_id", "tier", "best_id", "best_score",
+                   "num_candidates")
+
+
+def _emit_results(resolved, out: str | None) -> None:
+    """Write resolver outcomes as CSV to ``out`` (or stdout)."""
+    sink = (
+        open(out, "w", newline="", encoding="utf-8")
+        if out
+        else contextlib.nullcontext(sys.stdout)
+    )
+    with sink as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_RESULT_COLUMNS)
+        for entity in resolved:
+            writer.writerow([
+                entity.record_id, entity.tier, entity.best_id or "",
+                f"{entity.best_score:.4f}", entity.num_candidates,
+            ])
+
+
+#: Operations a serve-batch ops CSV may contain.
+_SERVE_OPS = ("add", "remove", "query")
+
+
+def _read_ops_csv(path: str) -> list[tuple[str, Record]]:
+    """Read a serve-batch operations CSV.
+
+    Needs ``op`` and ``record_id`` columns; every other column becomes
+    a record attribute (``remove`` rows only use the id).
+    """
+    operations: list[tuple[str, Record]] = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or not {"op", "record_id"} <= set(
+            reader.fieldnames
+        ):
+            raise ReproError(
+                f"ops CSV {path} needs 'op' and 'record_id' columns; "
+                f"found {reader.fieldnames}"
+            )
+        for row in reader:
+            op = (row.get("op") or "").strip().lower()
+            if op not in _SERVE_OPS:
+                raise ReproError(
+                    f"unknown op {op!r} in {path}; "
+                    f"known: {', '.join(_SERVE_OPS)}"
+                )
+            record_id = (row.get("record_id") or "").strip()
+            if not record_id:
+                raise ReproError(f"ops CSV {path} contains a row without an id")
+            fields = {
+                key: value or ""
+                for key, value in row.items()
+                if key not in ("op", "record_id")
+            }
+            operations.append((op, Record(record_id, fields)))
+    return operations
+
+
 def cmd_generate(args) -> int:
     if args.kind == "cora":
         dataset = CoraLikeGenerator(
@@ -111,27 +230,7 @@ def cmd_generate(args) -> int:
 
 def cmd_block(args) -> int:
     dataset = read_csv(args.input)
-    # --pooled keeps one warm ShardPool alive for the whole command, so
-    # every parallel map of the blocking stage shares one executor
-    # instead of forking afresh; without it the per-call runtime is
-    # used, preserving the previous behaviour. When --processes is not
-    # given, --pooled defaults it to all CPUs — a one-process pool
-    # would silently take the serial path and never use the pool.
-    if getattr(args, "processes", None) is None:
-        args.processes = 0 if getattr(args, "pooled", False) else 1
-    if getattr(args, "pooled", False):
-        if args.processes == 1:
-            print(
-                "note: --pooled with --processes 1 runs the serial "
-                "engine; the pool is unused",
-                file=sys.stderr,
-            )
-        pool_ctx: ShardPool | contextlib.nullcontext = ShardPool(
-            args.processes or None
-        )
-    else:
-        pool_ctx = contextlib.nullcontext()
-    with pool_ctx as pool:
+    with _pool_context(args) as pool:
         blocker = _make_blocker(args, pool=pool)
         outcome = run_blocking(blocker, dataset)
         write_pairs_csv(outcome.result.distinct_pairs, args.out)
@@ -173,6 +272,52 @@ def cmd_resolve(args) -> int:
     return 0
 
 
+def cmd_query(args) -> int:
+    corpus = read_csv(args.input)
+    queries = read_csv(args.queries)
+    with _pool_context(args) as pool:
+        resolver = _resolver_from_args(args, corpus, pool)
+        resolved = resolver.resolve_many(list(queries))
+    _emit_results(resolved, args.out)
+    if args.out:
+        tiers = {tier: 0 for tier in ("match", "possible", "new")}
+        for entity in resolved:
+            tiers[entity.tier] += 1
+        print(
+            f"resolved {len(resolved)} queries against {len(corpus)} "
+            f"records ({tiers['match']} match / {tiers['possible']} "
+            f"possible / {tiers['new']} new) -> {args.out}"
+        )
+    return 0
+
+
+def cmd_serve_batch(args) -> int:
+    corpus = read_csv(args.input)
+    operations = _read_ops_csv(args.ops)
+    with _pool_context(args) as pool:
+        resolver = _resolver_from_args(args, corpus, pool)
+        resolved = []
+        for op, record in operations:
+            if op == "add":
+                resolver.add(record)
+            elif op == "remove":
+                try:
+                    resolver.remove(record.record_id)
+                except KeyError:
+                    raise ReproError(
+                        f"cannot remove unknown record {record.record_id!r}"
+                    ) from None
+            else:
+                resolved.append(resolver.resolve_one(record))
+    _emit_results(resolved, args.out)
+    if args.out:
+        print(
+            f"applied {len(operations)} operations "
+            f"({len(resolved)} queries) against {args.input} -> {args.out}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Semantic-aware LSH blocking toolkit"
@@ -186,35 +331,45 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--out", required=True)
     generate.set_defaults(func=cmd_generate)
 
+    def add_blocker_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--technique", default="salsh")
+        sub.add_argument("--attributes", required=True,
+                         help="comma-separated blocking attributes")
+        sub.add_argument("--domain", choices=SEMANTIC_DOMAINS, default="cora",
+                         help="semantic domain for salsh")
+        sub.add_argument("--q", type=int, default=3)
+        sub.add_argument("--k", type=int, default=4)
+        sub.add_argument("--l", type=int, default=20)
+        sub.add_argument("--w", type=int, default=0,
+                         help="w-way size for salsh (0 = all bits)")
+        sub.add_argument("--mode", choices=("and", "or"), default="or")
+        sub.add_argument("--workers", type=int, default=1,
+                         help="threads for the batch signature engine "
+                              "(0 = all CPUs); identical blocks either way")
+        sub.add_argument("--processes", type=int, default=None,
+                         help="worker processes for the sharded runtime: "
+                              "record slabs are shingled/minhashed in "
+                              "parallel and bucket grouping is band-sharded "
+                              "(0 = all CPUs, default 1 — or all CPUs when "
+                              "--pooled is set); identical blocks either way")
+        sub.add_argument("--pooled", action="store_true",
+                         help="run the sharded runtime on one persistent "
+                              "shard pool spanning all stages (warm "
+                              "executor + shared-memory slab transport) "
+                              "instead of a fresh pool per parallel map; "
+                              "identical blocks either way")
+        sub.add_argument("--seed", type=int, default=0)
+
+    def add_matcher_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--similarity", default="jaccard_q2",
+                         help="similarity measure scoring the blocking "
+                              "candidates of each query")
+        sub.add_argument("--match-threshold", type=float, default=0.85)
+        sub.add_argument("--possible-threshold", type=float, default=0.65)
+
     block = commands.add_parser("block", help="block a CSV dataset")
     block.add_argument("--input", required=True)
-    block.add_argument("--technique", default="salsh")
-    block.add_argument("--attributes", required=True,
-                       help="comma-separated blocking attributes")
-    block.add_argument("--domain", choices=SEMANTIC_DOMAINS, default="cora",
-                       help="semantic domain for salsh")
-    block.add_argument("--q", type=int, default=3)
-    block.add_argument("--k", type=int, default=4)
-    block.add_argument("--l", type=int, default=20)
-    block.add_argument("--w", type=int, default=0,
-                       help="w-way size for salsh (0 = all bits)")
-    block.add_argument("--mode", choices=("and", "or"), default="or")
-    block.add_argument("--workers", type=int, default=1,
-                       help="threads for the batch signature engine "
-                            "(0 = all CPUs); identical blocks either way")
-    block.add_argument("--processes", type=int, default=None,
-                       help="worker processes for the sharded runtime: "
-                            "record slabs are shingled/minhashed in "
-                            "parallel and bucket grouping is band-sharded "
-                            "(0 = all CPUs, default 1 — or all CPUs when "
-                            "--pooled is set); identical blocks either way")
-    block.add_argument("--pooled", action="store_true",
-                       help="run the sharded runtime on one persistent "
-                            "shard pool spanning all stages (warm "
-                            "executor + shared-memory slab transport) "
-                            "instead of a fresh pool per parallel map; "
-                            "identical blocks either way")
-    block.add_argument("--seed", type=int, default=0)
+    add_blocker_arguments(block)
     block.add_argument("--out", required=True)
     block.set_defaults(func=cmd_block)
 
@@ -232,6 +387,36 @@ def build_parser() -> argparse.ArgumentParser:
     resolve_cmd.add_argument("--similarity", default="jaro_winkler")
     resolve_cmd.add_argument("--threshold", type=float, default=0.85)
     resolve_cmd.set_defaults(func=cmd_resolve)
+
+    query = commands.add_parser(
+        "query",
+        help="resolve probe records against a corpus via the online "
+             "resolver (single-record query path, no corpus rebuild)",
+    )
+    query.add_argument("--input", required=True,
+                       help="corpus CSV the resolver indexes")
+    query.add_argument("--queries", required=True,
+                       help="CSV of probe records to resolve")
+    add_blocker_arguments(query)
+    add_matcher_arguments(query)
+    query.add_argument("--out", default=None,
+                       help="result CSV (default: stdout)")
+    query.set_defaults(func=cmd_query)
+
+    serve = commands.add_parser(
+        "serve-batch",
+        help="replay an add/remove/query operations CSV against the "
+             "online resolver, emitting one result row per query op",
+    )
+    serve.add_argument("--input", required=True,
+                       help="corpus CSV seeding the resolver")
+    serve.add_argument("--ops", required=True,
+                       help="operations CSV with op + record_id columns")
+    add_blocker_arguments(serve)
+    add_matcher_arguments(serve)
+    serve.add_argument("--out", default=None,
+                       help="result CSV (default: stdout)")
+    serve.set_defaults(func=cmd_serve_batch)
 
     return parser
 

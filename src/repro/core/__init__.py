@@ -1,10 +1,21 @@
 """The paper's primary contribution: LSH and semantic-aware LSH blocking."""
 
-from repro.core.base import Blocker, BlockingResult
-from repro.core.lsh_blocker import LSHBlocker
-from repro.core.salsh_blocker import SALSHBlocker
-from repro.core.lsh_variants import LSHForestBlocker, MultiProbeLSHBlocker
-from repro.core.pipeline import PipelineConfig, PipelineReport, run_pipeline
+from repro.core.base import Blocker, BlockingResult, OnlineIndex
+from repro.core.lsh_blocker import LSHBlocker, OnlineLSHIndex
+from repro.core.salsh_blocker import OnlineSALSHIndex, SALSHBlocker
+from repro.core.lsh_variants import (
+    LSHForestBlocker,
+    MultiProbeLSHBlocker,
+    OnlineForestIndex,
+    OnlineMultiProbeIndex,
+)
+from repro.core.pipeline import (
+    PipelineConfig,
+    PipelineReport,
+    build_blocker,
+    build_resolver,
+    run_pipeline,
+)
 from repro.core.tuning import (
     TunedParameters,
     determine_kl,
@@ -22,6 +33,11 @@ from repro.core.robustness import (
 __all__ = [
     "Blocker",
     "BlockingResult",
+    "OnlineIndex",
+    "OnlineLSHIndex",
+    "OnlineSALSHIndex",
+    "OnlineMultiProbeIndex",
+    "OnlineForestIndex",
     "LSHBlocker",
     "SALSHBlocker",
     "MultiProbeLSHBlocker",
@@ -29,6 +45,8 @@ __all__ = [
     "PipelineConfig",
     "PipelineReport",
     "run_pipeline",
+    "build_blocker",
+    "build_resolver",
     "TunedParameters",
     "determine_sh",
     "determine_kl",

@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.records.dataset import Dataset
 from repro.records.ground_truth import Pair, sorted_pair
+from repro.records.record import Record
 from repro.records.pairs import (
     decode_pair_keys,
     encode_pair_keys,
@@ -202,3 +203,42 @@ class Blocker(ABC):
     def describe(self) -> str:
         """One-line parameter description for reports."""
         return self.name
+
+
+class OnlineIndex(ABC):
+    """A long-lived blocking index answering single-record queries.
+
+    Produced by a blocker's ``online()`` factory; the contract every
+    implementation keeps (and the equivalence suite enforces):
+
+    * :meth:`add_many` / :meth:`add` index records incrementally — no
+      rebuild, identical end state regardless of how the corpus is
+      split into calls;
+    * :meth:`remove` drops one record in O(1); the id is *retired*
+      (re-adding raises ``KeyError`` — replacements use a fresh id);
+    * :meth:`query` returns live candidate ids for a probe record
+      without mutating the index (empty for a record nothing
+      co-blocks with — never an exception);
+    * :meth:`blocks` equals the owning blocker's batch ``block()``
+      over the surviving records in their original insertion order.
+    """
+
+    @abstractmethod
+    def add_many(self, records: Sequence[Record]) -> None:
+        """Index a slab of records (ids unique across all calls)."""
+
+    def add(self, record: Record) -> None:
+        """Index one record (convenience wrapper over :meth:`add_many`)."""
+        self.add_many([record])
+
+    @abstractmethod
+    def remove(self, record_id: str) -> None:
+        """Tombstone one indexed record; the id is retired permanently."""
+
+    @abstractmethod
+    def query(self, record: Record) -> list[str]:
+        """Live record ids sharing at least one block with ``record``."""
+
+    @abstractmethod
+    def blocks(self) -> tuple[Block, ...]:
+        """Current blocks over the live records (batch-equivalent)."""

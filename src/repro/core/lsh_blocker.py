@@ -35,9 +35,9 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.core.base import Blocker, BlockingResult, make_blocks
+from repro.core.base import Blocker, BlockingResult, OnlineIndex, make_blocks
 from repro.errors import ConfigurationError
-from repro.lsh.bands import split_bands, split_bands_matrix
+from repro.lsh.bands import record_band_keys, split_bands, split_bands_matrix
 from repro.lsh.index import BandedLSHIndex
 from repro.lsh.sharding import signature_slabs
 from repro.minhash.corpus import ShingleVocabulary
@@ -79,6 +79,83 @@ def stream_slab_signatures(
     if isinstance(signatures_out, GrowableSignatureSpill):
         signatures = signatures_out.append(signatures)
     return signatures
+
+
+class OnlineLSHIndex(OnlineIndex):
+    """Long-lived incremental form of :class:`LSHBlocker`.
+
+    Built once, then mutated: each :meth:`add_many` slab is shingled
+    against one growing vocabulary and minhashed on the batch engine
+    (exactly the :meth:`LSHBlocker.block_stream` loop), so after any
+    interleaving of adds and removes :meth:`blocks` is identical to
+    :meth:`LSHBlocker.block` over the surviving records in insertion
+    order. :meth:`query` probes the banded index with a single record's
+    signature — O(l) bucket lookups, no mutation — and returns live
+    candidate ids in first-encounter order.
+
+    ``signatures_out`` may point at a
+    :class:`~repro.minhash.signature.GrowableSignatureSpill` (or a
+    preallocated memmap) so the accumulated signature rows live on disk
+    rather than RAM, as in the streaming path.
+    """
+
+    def __init__(
+        self,
+        blocker: "LSHBlocker",
+        records: Iterable[Record] = (),
+        *,
+        signatures_out: "np.ndarray | GrowableSignatureSpill | None" = None,
+    ) -> None:
+        self.blocker = blocker
+        self._vocabulary = ShingleVocabulary()
+        self._signatures_out = signatures_out
+        self._cursor = 0
+        self._index = BandedLSHIndex(
+            blocker.l, processes=blocker.processes, pool=blocker.pool
+        )
+        self.add_many(records)
+
+    def add_many(self, records) -> None:
+        blocker = self.blocker
+        corpus = blocker.shingler.shingle_corpus(
+            records, vocabulary=self._vocabulary
+        )
+        if corpus.num_records == 0:
+            return
+        signatures = stream_slab_signatures(
+            blocker.hasher, corpus, self._signatures_out,
+            self._cursor, blocker.workers,
+        )
+        self._index.add_many(
+            corpus.record_ids,
+            split_bands_matrix(signatures, blocker.k, blocker.l),
+        )
+        self._cursor += corpus.num_records
+
+    def remove(self, record_id: str) -> None:
+        self._index.remove(record_id)
+
+    def is_retired(self, record_id: str) -> bool:
+        return self._index.is_retired(record_id)
+
+    @property
+    def num_live(self) -> int:
+        return self._index.num_live
+
+    def _query_signature(self, record: Record) -> np.ndarray:
+        # shingle_ids never grows the vocabulary, so queries are pure.
+        return self.blocker.hasher.signature(
+            self.blocker.shingler.shingle_ids(record)
+        )
+
+    def query(self, record: Record) -> list[str]:
+        keys = record_band_keys(
+            self._query_signature(record), self.blocker.k, self.blocker.l
+        )
+        return self._index.query_keys(keys, record_id=record.record_id)
+
+    def blocks(self):
+        return make_blocks(self._index.blocks())
 
 
 class LSHBlocker(Blocker):
@@ -197,6 +274,15 @@ class LSHBlocker(Blocker):
                 "engine": "batch" if self.batch else "per-record",
             },
         )
+
+    def online(
+        self,
+        records: Iterable[Record] = (),
+        *,
+        signatures_out: "np.ndarray | GrowableSignatureSpill | None" = None,
+    ) -> OnlineLSHIndex:
+        """A mutable :class:`OnlineLSHIndex` seeded with ``records``."""
+        return OnlineLSHIndex(self, records, signatures_out=signatures_out)
 
     def block_stream(
         self,

@@ -18,18 +18,20 @@ from __future__ import annotations
 
 import time
 from collections import defaultdict
+from typing import Iterable
 
 import numpy as np
 
-from repro.core.base import Blocker, BlockingResult, make_blocks
+from repro.core.base import Blocker, BlockingResult, OnlineIndex, make_blocks
 from repro.errors import ConfigurationError
 from repro.lsh.bands import split_bands_matrix
 from repro.lsh.index import grouped_indices
 from repro.lsh.sharding import runner_up_signature_slabs, signature_slabs
-from repro.minhash.corpus import ShingledCorpus
+from repro.minhash.corpus import ShingledCorpus, ShingleVocabulary
 from repro.minhash.minhash import MinHasher, compact_vocabulary, sentinel_stream
 from repro.minhash.shingling import Shingler
 from repro.records.dataset import Dataset
+from repro.records.record import Record
 from repro.utils.hashing import MERSENNE_PRIME_61, UniversalHashFamily
 from repro.utils.parallel import (
     ShardPool,
@@ -200,8 +202,21 @@ class MultiProbeLSHBlocker(Blocker):
             minima, runners = self.hasher.signature_matrix_with_runner_up(
                 corpus, workers=self.workers
             )
-        n = len(record_ids)
-        ids = np.asarray(record_ids, dtype=object)
+        return self._probe_groups(
+            np.asarray(record_ids, dtype=object), minima, runners
+        )
+
+    def _probe_groups(
+        self, ids: np.ndarray, minima: np.ndarray, runners: np.ndarray
+    ) -> list[list[str]]:
+        """Co-blocking groups from aligned (ids, minima, runner-ups).
+
+        The grouping core of :meth:`_block_batch`, shared with
+        :class:`OnlineMultiProbeIndex` so incremental blocks after
+        removals reuse the batch rule verbatim: a bucket's group is its
+        exact members plus the records probing its key.
+        """
+        n = ids.shape[0]
         exact_keys = split_bands_matrix(minima, self.k, self.l)
 
         groups: list[list[str]] = []
@@ -296,6 +311,12 @@ class MultiProbeLSHBlocker(Blocker):
             },
         )
 
+    def online(
+        self, records: Iterable[Record] = ()
+    ) -> "OnlineMultiProbeIndex":
+        """A mutable :class:`OnlineMultiProbeIndex` seeded with ``records``."""
+        return OnlineMultiProbeIndex(self, records)
+
 
 class LSHForestBlocker(Blocker):
     """LSH-forest-style blocking with adaptive band-prefix depth.
@@ -389,10 +410,15 @@ class LSHForestBlocker(Blocker):
             rows[i] = self.hasher.signature(self.shingler.shingle_ids(record))
         return tuple(ids), rows
 
-    def block(self, dataset: Dataset) -> BlockingResult:
-        start = time.perf_counter()
-        record_ids, signatures = self._signatures(dataset)
-        ids = np.asarray(record_ids, dtype=object)
+    def _forest_groups(
+        self, ids: np.ndarray, signatures: np.ndarray
+    ) -> list[list[str]]:
+        """Adaptive prefix-tree groups from aligned (ids, signatures).
+
+        The grouping core of :meth:`block`, shared with
+        :class:`OnlineForestIndex` so incremental blocks after removals
+        rebuild the survivor trees with the batch descent verbatim.
+        """
         groups: list[list[str]] = []
         for table in range(self.l):
             band = signatures[:, table * self.k : (table + 1) * self.k]
@@ -400,7 +426,14 @@ class LSHForestBlocker(Blocker):
             for bucket in grouped_indices(band[:, 0]):
                 for rows in self._split(bucket, band, depth=1):
                     groups.append(ids[rows].tolist())
+        return groups
 
+    def block(self, dataset: Dataset) -> BlockingResult:
+        start = time.perf_counter()
+        record_ids, signatures = self._signatures(dataset)
+        groups = self._forest_groups(
+            np.asarray(record_ids, dtype=object), signatures
+        )
         blocks = make_blocks(groups)
         elapsed = time.perf_counter() - start
         return BlockingResult(
@@ -413,3 +446,296 @@ class LSHForestBlocker(Blocker):
                 "engine": "batch" if self.batch else "per-record",
             },
         )
+
+    def online(self, records: Iterable[Record] = ()) -> "OnlineForestIndex":
+        """A mutable :class:`OnlineForestIndex` seeded with ``records``."""
+        return OnlineForestIndex(self, records)
+
+
+class _VariantOnlineBase(OnlineIndex):
+    """Shared slab/tombstone bookkeeping of the variant online indexes.
+
+    Both variants accumulate per-slab signature arrays (one growing
+    shingle vocabulary, signatures identical to the batch rows) and
+    tombstone removals by id; :meth:`blocks` concatenates the surviving
+    rows in insertion order and reruns the owning blocker's batch
+    grouping, so incremental results equal a from-scratch rebuild.
+    Removed ids are retired permanently, as in
+    :class:`~repro.lsh.index.BandedLSHIndex`.
+    """
+
+    def __init__(self, blocker: Blocker) -> None:
+        self.blocker = blocker
+        self._vocabulary = ShingleVocabulary()
+        self._id_slabs: list[np.ndarray] = []
+        self._ids_seen: set[str] = set()
+        self._tombstones: set[str] = set()
+
+    def _guard_new_ids(self, record_ids) -> None:
+        if self._tombstones and not self._tombstones.isdisjoint(record_ids):
+            retired = sorted(self._tombstones.intersection(record_ids))
+            raise KeyError(
+                f"record ids {retired!r} were removed and are retired; "
+                "re-adding them would resurrect their dead entries"
+            )
+        self._ids_seen.update(record_ids)
+
+    def remove(self, record_id: str) -> None:
+        if record_id in self._tombstones or record_id not in self._ids_seen:
+            raise KeyError(record_id)
+        self._tombstones.add(record_id)
+
+    def is_retired(self, record_id: str) -> bool:
+        return record_id in self._tombstones
+
+    @property
+    def num_live(self) -> int:
+        return len(self._ids_seen) - len(self._tombstones)
+
+    def _all_ids(self) -> np.ndarray:
+        if not self._id_slabs:
+            return np.empty(0, dtype=object)
+        if len(self._id_slabs) == 1:
+            return self._id_slabs[0]
+        return np.concatenate(self._id_slabs)
+
+    def _keep_mask(self, ids_all: np.ndarray) -> np.ndarray | None:
+        if not self._tombstones:
+            return None
+        tombstones = self._tombstones
+        return np.fromiter(
+            (rid not in tombstones for rid in ids_all.tolist()),
+            dtype=bool,
+            count=ids_all.size,
+        )
+
+    def _emit(
+        self, members, seen: set[str], found: list[str], record_id: str
+    ) -> None:
+        for member in members or ():
+            if (
+                member not in seen
+                and member not in self._tombstones
+                and member != record_id
+            ):
+                seen.add(member)
+                found.append(member)
+
+
+class OnlineMultiProbeIndex(_VariantOnlineBase):
+    """Long-lived incremental form of :class:`MultiProbeLSHBlocker`.
+
+    :meth:`query` applies the batch co-blocking rule from the probe
+    record's side — a pair co-blocks when one record's exact key equals
+    the other's exact *or* probe key — by probing, per table, the exact
+    and probe maps with the query's exact key and the exact map with
+    each of its perturbed keys. The maps grow per slab and removals
+    filter at lookup, so neither mutation rebuilds anything.
+    """
+
+    def __init__(
+        self,
+        blocker: MultiProbeLSHBlocker,
+        records: Iterable[Record] = (),
+    ) -> None:
+        super().__init__(blocker)
+        self._minima_slabs: list[np.ndarray] = []
+        self._runner_slabs: list[np.ndarray] = []
+        self._exact_maps: list[dict] = [dict() for _ in range(blocker.l)]
+        self._probe_maps: list[dict] = [dict() for _ in range(blocker.l)]
+        self.add_many(records)
+
+    def add_many(self, records) -> None:
+        blocker = self.blocker
+        corpus = blocker.shingler.shingle_corpus(
+            records, vocabulary=self._vocabulary
+        )
+        if corpus.num_records == 0:
+            return
+        self._guard_new_ids(corpus.record_ids)
+        minima, runners = blocker.hasher.signature_matrix_with_runner_up(
+            corpus, workers=blocker.workers
+        )
+        self._id_slabs.append(np.asarray(corpus.record_ids, dtype=object))
+        self._minima_slabs.append(minima)
+        self._runner_slabs.append(runners)
+        self._extend_maps(corpus.record_ids, minima, runners)
+
+    def _extend_maps(
+        self, record_ids, minima: np.ndarray, runners: np.ndarray
+    ) -> None:
+        blocker = self.blocker
+        k = blocker.k
+        exact_keys = split_bands_matrix(minima, k, blocker.l)
+        for table in range(blocker.l):
+            exact_map = self._exact_maps[table]
+            for rid, key in zip(record_ids, exact_keys[:, table].tolist()):
+                exact_map.setdefault(key, []).append(rid)
+            probe_map = self._probe_maps[table]
+            lo = table * k
+            band = minima[:, lo : lo + k]
+            for probe_row in range(blocker.num_probes):
+                perturbed = band.copy()
+                perturbed[:, probe_row] = runners[:, lo + probe_row]
+                keys = (
+                    np.ascontiguousarray(perturbed)
+                    .reshape(-1)
+                    .view(f"S{8 * k}")
+                    .tolist()
+                )
+                for rid, key in zip(record_ids, keys):
+                    probe_map.setdefault(key, []).append(rid)
+
+    def query(self, record: Record) -> list[str]:
+        blocker = self.blocker
+        minima, runners = blocker.hasher.signature_with_runner_up(
+            blocker.shingler.shingle_ids(record)
+        )
+        k = blocker.k
+        seen: set[str] = set()
+        found: list[str] = []
+        for table in range(blocker.l):
+            lo = table * k
+            band = np.ascontiguousarray(minima[lo : lo + k])
+            exact_key = band.view(f"S{8 * k}")[0]
+            self._emit(
+                self._exact_maps[table].get(exact_key),
+                seen, found, record.record_id,
+            )
+            self._emit(
+                self._probe_maps[table].get(exact_key),
+                seen, found, record.record_id,
+            )
+            for probe_row in range(blocker.num_probes):
+                perturbed = band.copy()
+                perturbed[probe_row] = runners[lo + probe_row]
+                probe_key = perturbed.view(f"S{8 * k}")[0]
+                self._emit(
+                    self._exact_maps[table].get(probe_key),
+                    seen, found, record.record_id,
+                )
+        return found
+
+    def blocks(self):
+        ids_all = self._all_ids()
+        if ids_all.size == 0:
+            return ()
+        minima = (
+            self._minima_slabs[0]
+            if len(self._minima_slabs) == 1
+            else np.concatenate(self._minima_slabs)
+        )
+        runners = (
+            self._runner_slabs[0]
+            if len(self._runner_slabs) == 1
+            else np.concatenate(self._runner_slabs)
+        )
+        keep = self._keep_mask(ids_all)
+        if keep is not None:
+            ids_all = ids_all[keep]
+            minima = minima[keep]
+            runners = runners[keep]
+        return make_blocks(self.blocker._probe_groups(ids_all, minima, runners))
+
+
+class OnlineForestIndex(_VariantOnlineBase):
+    """Long-lived incremental form of :class:`LSHForestBlocker`.
+
+    :meth:`blocks` rebuilds the survivor prefix trees with the batch
+    descent (cached until the next mutation). :meth:`query` descends
+    each table's survivor tree along the query's band values: at every
+    split it follows the partition matching the query's next signature
+    position — an empty match means the query would occupy a leaf of
+    its own, contributing no candidates from that table.
+    """
+
+    def __init__(
+        self,
+        blocker: LSHForestBlocker,
+        records: Iterable[Record] = (),
+    ) -> None:
+        super().__init__(blocker)
+        self._signature_slabs: list[np.ndarray] = []
+        self._live: tuple[np.ndarray, np.ndarray] | None = None
+        self.add_many(records)
+
+    def add_many(self, records) -> None:
+        blocker = self.blocker
+        corpus = blocker.shingler.shingle_corpus(
+            records, vocabulary=self._vocabulary
+        )
+        if corpus.num_records == 0:
+            return
+        self._guard_new_ids(corpus.record_ids)
+        signatures = blocker.hasher.signature_matrix(
+            corpus, workers=blocker.workers
+        )
+        self._id_slabs.append(np.asarray(corpus.record_ids, dtype=object))
+        self._signature_slabs.append(signatures)
+        self._live = None
+
+    def remove(self, record_id: str) -> None:
+        super().remove(record_id)
+        self._live = None
+
+    def _live_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._live is None:
+            ids_all = self._all_ids()
+            if self._signature_slabs:
+                signatures = (
+                    self._signature_slabs[0]
+                    if len(self._signature_slabs) == 1
+                    else np.concatenate(self._signature_slabs)
+                )
+            else:
+                signatures = np.empty(
+                    (0, self.blocker.hasher.num_hashes), dtype=np.uint64
+                )
+            keep = self._keep_mask(ids_all)
+            if keep is not None:
+                ids_all = ids_all[keep]
+                signatures = signatures[keep]
+            self._live = (ids_all, signatures)
+        return self._live
+
+    def _descend(
+        self,
+        rows: np.ndarray,
+        band: np.ndarray,
+        query_band: np.ndarray,
+        depth: int,
+    ) -> np.ndarray:
+        blocker = self.blocker
+        while rows.size > blocker.max_block_size and depth < blocker.k:
+            matching = rows[band[rows, depth] == query_band[depth]]
+            if matching.size != rows.size:
+                # A real split: follow the query's partition (empty
+                # when no indexed record shares the next position).
+                rows = matching
+                if rows.size == 0:
+                    break
+            depth += 1
+        return rows
+
+    def query(self, record: Record) -> list[str]:
+        ids_all, signatures = self._live_arrays()
+        if ids_all.size == 0:
+            return []
+        blocker = self.blocker
+        query_signature = blocker.hasher.signature(
+            blocker.shingler.shingle_ids(record)
+        )
+        seen: set[str] = set()
+        found: list[str] = []
+        for table in range(blocker.l):
+            lo = table * blocker.k
+            band = signatures[:, lo : lo + blocker.k]
+            query_band = query_signature[lo : lo + blocker.k]
+            rows = np.flatnonzero(band[:, 0] == query_band[0])
+            rows = self._descend(rows, band, query_band, 1)
+            self._emit(ids_all[rows].tolist(), seen, found, record.record_id)
+        return found
+
+    def blocks(self):
+        ids_all, signatures = self._live_arrays()
+        return make_blocks(self.blocker._forest_groups(ids_all, signatures))

@@ -101,6 +101,48 @@ def tune_from_dataset(dataset: Dataset, config: PipelineConfig) -> TunedParamete
     return determine_kl(sh, sl, config.ph, config.pl)
 
 
+def build_blocker(
+    training: Dataset,
+    config: PipelineConfig,
+    parameters: TunedParameters,
+    semantic_function: SemanticFunction | None = None,
+) -> tuple[
+    "LSHBlocker | SALSHBlocker",
+    tuple[str, int | str] | None,
+    SemanticFeatureQuality | None,
+]:
+    """§5.3 step (iii): the tuned blocker plus its gate decision.
+
+    Returns ``(blocker, gate, feature_quality)``; the latter two are
+    ``None`` for plain LSH (no semantic function). Shared by
+    :func:`run_pipeline` and :func:`build_resolver` so the batch and
+    online surfaces make identical parameter choices.
+    """
+    if semantic_function is None:
+        blocker = LSHBlocker(
+            config.attributes, q=config.q,
+            k=parameters.k, l=parameters.l, seed=config.seed,
+            workers=config.workers, processes=config.processes,
+            pool=config.pool,
+        )
+        return blocker, None, None
+    quality = analyse_semantic_features(training, semantic_function)
+    num_bits = SemhashEncoder(semantic_function, training).num_bits
+    mode, w = recommend_gate(quality, num_bits)
+    if config.mode is not None:
+        mode = config.mode
+    if config.w is not None:
+        w = config.w
+    blocker = SALSHBlocker(
+        config.attributes, q=config.q,
+        k=parameters.k, l=parameters.l, seed=config.seed,
+        semantic_function=semantic_function, w=w, mode=mode,
+        workers=config.workers, processes=config.processes,
+        pool=config.pool,
+    )
+    return blocker, (mode, w), quality
+
+
 def run_pipeline(
     dataset: Dataset,
     config: PipelineConfig,
@@ -112,33 +154,9 @@ def run_pipeline(
     block and evaluate ``dataset``."""
     training = training_dataset or dataset
     parameters = tune_from_dataset(training, config)
-
-    gate: tuple[str, int | str] | None = None
-    quality: SemanticFeatureQuality | None = None
-    if semantic_function is None:
-        blocker = LSHBlocker(
-            config.attributes, q=config.q,
-            k=parameters.k, l=parameters.l, seed=config.seed,
-            workers=config.workers, processes=config.processes,
-            pool=config.pool,
-        )
-    else:
-        quality = analyse_semantic_features(training, semantic_function)
-        num_bits = SemhashEncoder(semantic_function, training).num_bits
-        mode, w = recommend_gate(quality, num_bits)
-        if config.mode is not None:
-            mode = config.mode
-        if config.w is not None:
-            w = config.w
-        gate = (mode, w)
-        blocker = SALSHBlocker(
-            config.attributes, q=config.q,
-            k=parameters.k, l=parameters.l, seed=config.seed,
-            semantic_function=semantic_function, w=w, mode=mode,
-            workers=config.workers, processes=config.processes,
-            pool=config.pool,
-        )
-
+    blocker, gate, quality = build_blocker(
+        training, config, parameters, semantic_function
+    )
     outcome = run_blocking(blocker, dataset)
     return PipelineReport(
         parameters=parameters,
@@ -146,3 +164,31 @@ def run_pipeline(
         feature_quality=quality,
         outcome=outcome,
     )
+
+
+def build_resolver(
+    corpus: Dataset,
+    config: PipelineConfig,
+    semantic_function: SemanticFunction | None = None,
+    *,
+    training_dataset: Dataset | None = None,
+    matcher: "SimilarityMatcher | None" = None,
+):
+    """The online counterpart of :func:`run_pipeline`: a tuned, warm
+    :class:`~repro.er.resolver.Resolver` over ``corpus``.
+
+    Runs the same §5.3 tuning chain (sh → (k, l) → gate selection) on
+    ``training_dataset`` (default: the corpus), builds the blocker —
+    with the config's ``pool`` so repeated serving calls share one warm
+    shard runtime — and seeds the resolver's incremental index with the
+    corpus in one slab. Mutations and single-record queries then go
+    through :class:`~repro.er.resolver.Resolver`.
+    """
+    from repro.er.resolver import Resolver
+
+    training = training_dataset or corpus
+    parameters = tune_from_dataset(training, config)
+    blocker, _, _ = build_blocker(
+        training, config, parameters, semantic_function
+    )
+    return Resolver(blocker, corpus, matcher=matcher)

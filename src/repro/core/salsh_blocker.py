@@ -15,10 +15,10 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.core.base import Blocker, BlockingResult, make_blocks
+from repro.core.base import Blocker, BlockingResult, OnlineIndex, make_blocks
 from repro.core.lsh_blocker import stream_slab_signatures
-from repro.errors import ConfigurationError
-from repro.lsh.bands import split_bands, split_bands_matrix
+from repro.errors import ConfigurationError, SemanticFunctionError
+from repro.lsh.bands import record_band_keys, split_bands, split_bands_matrix
 from repro.lsh.index import BandedLSHIndex
 from repro.lsh.sharding import semantic_signature_slabs, signature_slabs
 from repro.minhash.corpus import ShingleVocabulary
@@ -31,6 +31,114 @@ from repro.semantic.hashing import WWaySemanticHashFamily
 from repro.semantic.interpretation import SemanticFunction
 from repro.semantic.semhash import SemhashEncoder
 from repro.utils.parallel import ShardPool, effective_processes
+
+
+class OnlineSALSHIndex(OnlineIndex):
+    """Long-lived incremental form of :class:`SALSHBlocker`.
+
+    Mirrors :class:`~repro.core.lsh_blocker.OnlineLSHIndex` with the
+    semantic gate applied per slab: band keys come from the streaming
+    signature engine and each slab's semhash rows are encoded by one
+    *frozen* :class:`~repro.semantic.semhash.SemhashEncoder`, so after
+    any interleaving of adds and removes :meth:`blocks` equals
+    :meth:`SALSHBlocker.block_stream` (same encoder) over the surviving
+    records. When no encoder is given, one is frozen from the first
+    non-empty slab — records added later encode against that fixed bit
+    set, exactly like the streamed path's sample-fitted encoder.
+
+    :meth:`query` gates the probe record through the same w-way family.
+    A record whose interpretation the semantic function cannot produce
+    (:class:`~repro.errors.SemanticFunctionError`), or whose concepts
+    are entirely unseen by the frozen encoder (an all-zero semhash the
+    OR/AND gates exclude), yields empty candidates — never an
+    exception.
+    """
+
+    def __init__(
+        self,
+        blocker: "SALSHBlocker",
+        records: Iterable[Record] = (),
+        *,
+        encoder: SemhashEncoder | None = None,
+        signatures_out: "np.ndarray | GrowableSignatureSpill | None" = None,
+    ) -> None:
+        self.blocker = blocker
+        self.encoder = encoder
+        self._gates = (
+            None if encoder is None else blocker._gates(encoder.num_bits)
+        )
+        self._vocabulary = ShingleVocabulary()
+        self._signatures_out = signatures_out
+        self._cursor = 0
+        self._index = BandedLSHIndex(
+            blocker.l, processes=blocker.processes, pool=blocker.pool
+        )
+        self.add_many(records)
+
+    def add_many(self, records) -> None:
+        records = (
+            records if isinstance(records, (list, tuple)) else list(records)
+        )
+        if not records:
+            return
+        blocker = self.blocker
+        if self.encoder is None:
+            self.encoder = SemhashEncoder(blocker.semantic_function, records)
+            self._gates = blocker._gates(self.encoder.num_bits)
+        corpus = blocker.shingler.shingle_corpus(
+            records, vocabulary=self._vocabulary
+        )
+        signatures = stream_slab_signatures(
+            blocker.hasher, corpus, self._signatures_out,
+            self._cursor, blocker.workers,
+        )
+        semhash = self.encoder.signature_matrix(records)
+        entries = [
+            self._gates.gate_entries(table, semhash)
+            for table in range(blocker.l)
+        ]
+        self._index.add_many(
+            corpus.record_ids,
+            split_bands_matrix(signatures, blocker.k, blocker.l),
+            gate_entries=entries,
+        )
+        self._cursor += corpus.num_records
+
+    def remove(self, record_id: str) -> None:
+        self._index.remove(record_id)
+
+    def is_retired(self, record_id: str) -> bool:
+        return self._index.is_retired(record_id)
+
+    @property
+    def num_live(self) -> int:
+        return self._index.num_live
+
+    def query(self, record: Record) -> list[str]:
+        if self.encoder is None:
+            return []
+        try:
+            semhash = self.encoder.encode(record)
+        except SemanticFunctionError:
+            # The frozen semantic function cannot interpret this record
+            # at all (e.g. an incomplete pattern table): semantically it
+            # matches nothing, so it blocks with nothing.
+            return []
+        blocker = self.blocker
+        keys = record_band_keys(
+            blocker.hasher.signature(blocker.shingler.shingle_ids(record)),
+            blocker.k,
+            blocker.l,
+        )
+        gates = self._gates
+
+        def gate(table: int, _record_id: str):
+            return gates.gate_suffixes(table, semhash)
+
+        return self._index.query_keys(keys, gate, record_id=record.record_id)
+
+    def blocks(self):
+        return make_blocks(self._index.blocks())
 
 
 class SALSHBlocker(Blocker):
@@ -307,6 +415,23 @@ class SALSHBlocker(Blocker):
                 "pooled": self.pool is not None,
                 "engine": "sharded",
             },
+        )
+
+    def online(
+        self,
+        records: Iterable[Record] = (),
+        *,
+        encoder: SemhashEncoder | None = None,
+        signatures_out: "np.ndarray | GrowableSignatureSpill | None" = None,
+    ) -> OnlineSALSHIndex:
+        """A mutable :class:`OnlineSALSHIndex` seeded with ``records``.
+
+        ``encoder`` fixes the semhash bit set up front (as
+        :meth:`block_stream` requires); without one, the index freezes
+        an encoder from its first non-empty record slab.
+        """
+        return OnlineSALSHIndex(
+            self, records, encoder=encoder, signatures_out=signatures_out
         )
 
     def block_stream(

@@ -10,6 +10,7 @@ evaluation.
 """
 
 from repro.er.matching import MatchDecision, SimilarityMatcher
+from repro.er.resolver import CandidateScore, ResolvedEntity, Resolver
 from repro.er.clustering import (
     component_labels,
     connected_components,
@@ -21,6 +22,9 @@ from repro.er.evaluation import ResolutionMetrics, evaluate_resolution
 __all__ = [
     "SimilarityMatcher",
     "MatchDecision",
+    "Resolver",
+    "ResolvedEntity",
+    "CandidateScore",
     "component_labels",
     "connected_components",
     "connected_components_arrays",

@@ -27,6 +27,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.records.dataset import Dataset
 from repro.records.ground_truth import Pair
+from repro.records.record import Record
 from repro.text.qgrams import qgram_set
 from repro.text.similarity import StringSimilarity, get_similarity
 
@@ -217,6 +218,42 @@ class SimilarityMatcher:
         if score >= self.possible_threshold:
             return "possible"
         return "non-match"
+
+    def label_for(self, score: float) -> str:
+        """Three-region label of a score — 'match', 'possible' or
+        'non-match' (the resolver's confidence tiers)."""
+        return self._label(score)
+
+    def score_against(
+        self, probe: Record, candidates: Iterable[Record]
+    ) -> np.ndarray:
+        """Weighted similarities of one probe record vs many candidates.
+
+        The single-record form of :meth:`score_pairs` — no dataset or
+        cached factorization required, so the online resolver can score
+        a query record that belongs to no corpus. Each distinct
+        (probe value, candidate value) combination per attribute is
+        scored once and scattered; identical to :meth:`score` on each
+        (probe, candidate) pair.
+        """
+        candidate_list = (
+            candidates if isinstance(candidates, list) else list(candidates)
+        )
+        scores = np.zeros(len(candidate_list), dtype=np.float64)
+        if not candidate_list:
+            return scores
+        for attribute, similarity in self._similarities.items():
+            probe_value = probe.get(attribute)
+            memo: dict[str, float] = {}
+            weight = self._weights[attribute]
+            for row, candidate in enumerate(candidate_list):
+                value = candidate.get(attribute)
+                cached = memo.get(value)
+                if cached is None:
+                    cached = similarity(probe_value, value)
+                    memo[value] = cached
+                scores[row] += weight * cached
+        return scores
 
     def classify(self, dataset: Dataset, pair: Pair) -> MatchDecision:
         score = self.score(dataset, pair)

@@ -1,0 +1,202 @@
+"""The online resolver service: "who matches *this* record?".
+
+The paper's pipeline is batch-shaped — block a corpus, hand Γ to a
+matcher — but production ER is the inverse: a long-lived index serving
+single-record queries against an evolving corpus. :class:`Resolver`
+composes the pieces this library already has into that serving surface:
+
+* a mutable :class:`~repro.records.dataset.RecordStore` holding the
+  live corpus,
+* one of the four blockers' :class:`~repro.core.base.OnlineIndex`
+  incarnations answering "which records co-block with this one"
+  without a rebuild (optionally on a warm
+  :class:`~repro.utils.parallel.ShardPool`),
+* a :class:`~repro.er.matching.SimilarityMatcher` scoring the probe
+  against exactly those candidates and tiering the answer by the §3
+  three-region rule: ``match`` / ``possible`` / ``new``.
+
+Store and index mutate in lockstep: :meth:`Resolver.add` validates the
+id against both before touching either, so a failed insertion leaves
+the service consistent. Removed ids are retired for the resolver's
+lifetime (the index tombstones them permanently); replacements take a
+fresh id, e.g. from :meth:`~repro.records.dataset.RecordStore.
+allocate_id`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError, DatasetError
+from repro.records.dataset import RecordStore
+from repro.records.record import Record
+from repro.er.matching import SimilarityMatcher
+
+#: Similarity measure used when no matcher is supplied.
+_DEFAULT_MEASURE = "jaccard_q2"
+
+
+@dataclass(frozen=True)
+class CandidateScore:
+    """One scored blocking candidate of a resolver query."""
+
+    record_id: str
+    score: float
+    label: str  # 'match' | 'possible' | 'non-match'
+
+
+@dataclass(frozen=True)
+class ResolvedEntity:
+    """Outcome of :meth:`Resolver.resolve_one`.
+
+    ``tier`` is ``'match'`` when the best candidate clears the match
+    threshold, ``'possible'`` when it only reaches the uncertain
+    region, and ``'new'`` when nothing co-blocks or nothing scores
+    above the possible threshold — the probe looks like a previously
+    unseen entity. ``best_id`` is ``None`` exactly in the ``'new'``
+    tier; ``candidates`` holds every scored candidate, best first.
+    """
+
+    record_id: str
+    tier: str  # 'match' | 'possible' | 'new'
+    best_id: str | None
+    best_score: float
+    candidates: tuple[CandidateScore, ...]
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.candidates)
+
+
+class Resolver:
+    """Single-record resolution over a mutable corpus.
+
+    Parameters
+    ----------
+    blocker:
+        Any blocker exposing ``online()`` (LSH, SA-LSH, MP-LSH,
+        LSH-Forest). The resolver builds the online index once and
+        mutates it incrementally; a blocker carrying a persistent
+        ``pool`` keeps its sharded grouping warm across calls.
+    records:
+        Initial corpus (indexed as one slab).
+    matcher:
+        Scoring matcher; defaults to q-gram Jaccard over the blocker's
+        blocking attributes with the standard §3 thresholds.
+    """
+
+    def __init__(
+        self,
+        blocker,
+        records: Iterable[Record] = (),
+        *,
+        matcher: SimilarityMatcher | None = None,
+    ) -> None:
+        online = getattr(blocker, "online", None)
+        if online is None:
+            raise ConfigurationError(
+                f"blocker {blocker!r} has no online() factory; online "
+                "resolution needs an incremental index"
+            )
+        self.blocker = blocker
+        if matcher is None:
+            matcher = SimilarityMatcher(
+                {a: _DEFAULT_MEASURE for a in blocker.attributes}
+            )
+        self.matcher = matcher
+        staged = list(records)
+        self.store = RecordStore(staged, name="resolver")
+        self.index = online(staged)
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def __contains__(self, record_id: object) -> bool:
+        return record_id in self.store
+
+    def add(self, record: Record) -> None:
+        """Index one new record (store and index stay in lockstep)."""
+        self.add_many([record])
+
+    def add_many(self, records: Iterable[Record]) -> None:
+        """Index a batch of new records.
+
+        Validates every id upfront — present ids and retired (removed)
+        ids are rejected before the store or the index mutates, so a
+        failed call leaves the service unchanged.
+        """
+        staged = list(records)
+        retired = sorted(
+            r.record_id
+            for r in staged
+            if self.index.is_retired(r.record_id)
+        )
+        if retired:
+            raise DatasetError(
+                f"record ids {retired!r} were removed and are retired; "
+                "use fresh ids (see RecordStore.allocate_id)"
+            )
+        self.store.add_many(staged)  # rejects duplicates atomically
+        self.index.add_many(staged)
+
+    def remove(self, record_id: str) -> Record:
+        """Drop one record from store and index; returns the record.
+
+        The id is retired permanently — adding it again later raises.
+        """
+        record = self.store.remove(record_id)
+        self.index.remove(record_id)
+        return record
+
+    def query(self, record: Record) -> list[str]:
+        """Candidate ids co-blocking with ``record`` (no scoring)."""
+        return self.index.query(record)
+
+    def resolve_one(self, record: Record) -> ResolvedEntity:
+        """Resolve one probe record against the live corpus.
+
+        Blocking-first, like the batch pipeline: only the records the
+        online index co-blocks with the probe are scored (the paper's
+        point — blocking output feeds any ER algorithm), then ranked
+        by (score desc, id asc) and tiered by the matcher's
+        thresholds. A probe that blocks with nothing — empty record,
+        semantics unseen by a frozen encoder, or simply novel — comes
+        back ``tier='new'`` with no candidates, never an error.
+        """
+        candidate_ids = self.index.query(record)
+        candidates = [self.store[rid] for rid in candidate_ids]
+        scores = self.matcher.score_against(record, candidates)
+        ranked = sorted(
+            (
+                CandidateScore(
+                    record_id=rid,
+                    score=score,
+                    label=self.matcher.label_for(score),
+                )
+                for rid, score in zip(candidate_ids, scores.tolist())
+            ),
+            key=lambda c: (-c.score, c.record_id),
+        )
+        if not ranked or ranked[0].label == "non-match":
+            return ResolvedEntity(
+                record_id=record.record_id,
+                tier="new",
+                best_id=None,
+                best_score=ranked[0].score if ranked else 0.0,
+                candidates=tuple(ranked),
+            )
+        best = ranked[0]
+        return ResolvedEntity(
+            record_id=record.record_id,
+            tier="match" if best.label == "match" else "possible",
+            best_id=best.record_id,
+            best_score=best.score,
+            candidates=tuple(ranked),
+        )
+
+    def resolve_many(
+        self, records: Sequence[Record]
+    ) -> list[ResolvedEntity]:
+        """Resolve a batch of probes (each against the same corpus)."""
+        return [self.resolve_one(record) for record in records]

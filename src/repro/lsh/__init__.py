@@ -1,7 +1,12 @@
 """Banded locality-sensitive hashing (paper §5.1 step 3, §5.2)."""
 
 from repro.lsh.family import SensitivityParams, amplify_sensitivity
-from repro.lsh.bands import band_keys, split_bands, split_bands_matrix
+from repro.lsh.bands import (
+    band_keys,
+    record_band_keys,
+    split_bands,
+    split_bands_matrix,
+)
 from repro.lsh.index import BandedLSHIndex, grouped_indices
 from repro.lsh.collision import (
     banded_collision_probability,
@@ -15,6 +20,7 @@ __all__ = [
     "split_bands",
     "split_bands_matrix",
     "band_keys",
+    "record_band_keys",
     "BandedLSHIndex",
     "grouped_indices",
     "banded_collision_probability",

@@ -47,6 +47,20 @@ def split_bands_matrix(signatures: np.ndarray, k: int, l: int) -> np.ndarray:
     return contiguous.reshape(-1).view(f"S{8 * k}").reshape(-1, l)
 
 
+def record_band_keys(signature: np.ndarray, k: int, l: int) -> list[bytes]:
+    """One record's band keys in the batch key convention.
+
+    The single-record counterpart of :func:`split_bands_matrix`:
+    returns ``l`` Python ``bytes`` keys that compare equal to the
+    matrix keys of the same signature (numpy's trailing-NUL truncation
+    applies to both sides, so equality is preserved). This is what the
+    online query path uses to probe an index that was bulk-filled.
+    """
+    return split_bands_matrix(
+        np.asarray(signature, dtype=np.uint64).reshape(1, -1), k, l
+    )[0].tolist()
+
+
 def band_keys(signature: np.ndarray, k: int, l: int) -> list[int]:
     """Hashed band keys — one Python int per hash table.
 

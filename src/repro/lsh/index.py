@@ -27,6 +27,18 @@ Two insertion styles fill the same index:
   The one seam that does not merge: dict buckets from :meth:`add` stay
   separate from bulk buckets (the legacy path exists for equivalence
   tests; production code uses one style per index).
+
+Beyond construction, the index is a *mutable, long-lived* structure
+(the online resolver path): :meth:`BandedLSHIndex.remove` tombstones a
+record without regrouping, and :meth:`BandedLSHIndex.query_keys`
+answers "which live records share a bucket with these band keys"
+against both insertion styles without mutating anything. Tombstoned
+entries are dropped *before* the deferred grouping runs, so
+:meth:`BandedLSHIndex.blocks` after removals is byte-identical to
+rebuilding the index from the surviving records in their original
+insertion order. Removed ids are retired permanently — re-adding one
+would resurrect its dead bucket entries — so replacements must use a
+fresh id.
 """
 
 from __future__ import annotations
@@ -200,6 +212,16 @@ class BandedLSHIndex:
         #: (or no) bucket group per table; ``None`` marks the cache
         #: stale (new slabs arrived since the last grouping).
         self._bulk: list[_BulkBuckets | None] | None = None
+        #: Ids ever inserted (either style) and ids since retired.
+        self._ids_seen: set[str] = set()
+        self._tombstones: set[str] = set()
+        #: Lazy per-table query maps over the bulk slabs:
+        #: ``(band key, suffix) -> [record ids in insertion order]``.
+        #: Extended incrementally (``_query_cursor`` counts the slabs
+        #: already folded in); removals filter at lookup time, so
+        #: neither mutation invalidates the maps.
+        self._query_maps: list[dict] | None = None
+        self._query_cursor = 0
 
     def add(
         self,
@@ -223,6 +245,12 @@ class BandedLSHIndex:
             raise ValueError(
                 f"expected {self.num_tables} band keys, got {len(keys)}"
             )
+        if record_id in self._tombstones:
+            raise KeyError(
+                f"record id {record_id!r} was removed and is retired; "
+                "re-adding it would resurrect its dead bucket entries"
+            )
+        self._ids_seen.add(record_id)
         for table_index, key in enumerate(keys):
             for suffix in gate(table_index, record_id):
                 self._tables[table_index][(key, suffix)].append(record_id)
@@ -275,12 +303,48 @@ class BandedLSHIndex:
             )
         if n == 0:
             return
+        if self._tombstones and not self._tombstones.isdisjoint(record_ids):
+            retired = sorted(self._tombstones.intersection(record_ids))
+            raise KeyError(
+                f"record ids {retired!r} were removed and are retired; "
+                "re-adding them would resurrect their dead bucket entries"
+            )
+        self._ids_seen.update(record_ids)
         self._pending.append(
             _PendingSlab(
                 np.asarray(record_ids, dtype=object), key_matrix, gate_entries
             )
         )
         self._bulk = None
+
+    def remove(self, record_id: str) -> None:
+        """Tombstone one record — O(1), no regrouping.
+
+        The record stops appearing in :meth:`blocks`, :meth:`query_keys`
+        and :meth:`bucket_sizes`; dead entries are dropped *before* the
+        deferred grouping runs, so the resulting blocks are
+        byte-identical to an index rebuilt from the surviving records
+        in their original insertion order. The id is retired for the
+        index's lifetime (see :meth:`add_many`).
+
+        Raises
+        ------
+        KeyError
+            If the id was never inserted or is already removed.
+        """
+        if record_id in self._tombstones or record_id not in self._ids_seen:
+            raise KeyError(record_id)
+        self._tombstones.add(record_id)
+        self._bulk = None
+
+    def is_retired(self, record_id: str) -> bool:
+        """True when the id was removed (and may never be re-added)."""
+        return record_id in self._tombstones
+
+    @property
+    def num_live(self) -> int:
+        """Distinct inserted ids minus tombstoned ones."""
+        return len(self._ids_seen) - len(self._tombstones)
 
     def _merged_bulk(self) -> list[_BulkBuckets | None]:
         """Group all pending slabs per table, merging across slabs.
@@ -289,7 +353,10 @@ class BandedLSHIndex:
         within a slab — the order ``n`` per-record :meth:`add` calls
         over the concatenated corpus would produce — so bucket members
         and first-occurrence emission are byte-identical to a single
-        bulk insertion of the whole corpus.
+        bulk insertion of the whole corpus. Tombstoned records are
+        dropped here, *before* grouping: surviving entries keep their
+        relative order, so partitions, member order and bucket emission
+        order all match an index rebuilt from the survivors alone.
         """
         if self._bulk is not None:
             return self._bulk
@@ -302,8 +369,17 @@ class BandedLSHIndex:
                 else np.concatenate([slab.ids for slab in slabs])
             )
             bases = np.cumsum([0] + [slab.ids.size for slab in slabs])
+            if self._tombstones:
+                tombstones = self._tombstones
+                keep = np.fromiter(
+                    (rid not in tombstones for rid in ids_all.tolist()),
+                    dtype=bool,
+                    count=ids_all.size,
+                )
+            else:
+                keep = None
             entries = [
-                self._table_entries(table, slabs, ids_all, bases)
+                self._table_entries(table, slabs, ids_all, bases, keep)
                 for table in range(self.num_tables)
             ]
             if effective_processes(self.processes, self.pool) > 1:
@@ -337,6 +413,7 @@ class BandedLSHIndex:
         slabs: list[_PendingSlab],
         ids_all: np.ndarray,
         bases: np.ndarray,
+        keep: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray] | None:
         """One table's merged entries: ``(entry_ids, labels)``.
 
@@ -344,7 +421,12 @@ class BandedLSHIndex:
         suffix-ascending for OR gates); bucketing groups equal labels.
         ``labels`` are either the raw fixed-width band keys (no gates)
         or combined int64 (band, suffix) codes. ``None`` when the gates
-        exclude every record from the table.
+        exclude every record from the table, or when ``keep`` (the
+        per-record tombstone mask) leaves no entry standing. Band
+        labels are derived from *all* keys including tombstoned rows;
+        only the label values differ from a survivor-only rebuild —
+        partitioning and first-occurrence emission are label-value
+        invariant, so the grouped result is identical.
         """
         keys_all = (
             slabs[0].key_matrix[:, table]
@@ -357,7 +439,11 @@ class BandedLSHIndex:
         ]
         if all(gate is None for gate in gates):
             # Band keys sort directly; no per-entry suffixes.
-            return ids_all, keys_all
+            if keep is None:
+                return ids_all, keys_all
+            if not keep.any():
+                return None
+            return ids_all[keep], keys_all[keep]
         else:
             # Distinct (band, suffix) pairs need distinct labels: give
             # every suffix an integer code — OR-gate bit indices stay
@@ -392,6 +478,12 @@ class BandedLSHIndex:
                 return None
             entry_rows = np.concatenate(rows_parts)
             suffix_values = np.concatenate(suffix_parts)
+            if keep is not None:
+                mask = keep[entry_rows]
+                entry_rows = entry_rows[mask]
+                suffix_values = suffix_values[mask]
+                if entry_rows.size == 0:
+                    return None
             low = int(suffix_values.min())
             span = int(suffix_values.max()) - low + 1
             labels = band_label[entry_rows] * span + (suffix_values - low)
@@ -406,8 +498,11 @@ class BandedLSHIndex:
         """
         found: list[tuple[str, ...]] = []
         merged = self._merged_bulk()
+        tombstones = self._tombstones
         for table in range(self.num_tables):
             for members in self._tables[table].values():
+                if tombstones:
+                    members = [m for m in members if m not in tombstones]
                 if len(members) >= min_size:
                     found.append(tuple(members))
             if merged[table] is not None:
@@ -416,10 +511,127 @@ class BandedLSHIndex:
 
     def bucket_sizes(self) -> list[int]:
         """Sizes of all non-empty buckets (diagnostics)."""
-        sizes = [
-            len(members) for table in self._tables for members in table.values()
-        ]
+        tombstones = self._tombstones
+        if tombstones:
+            sizes = [
+                size
+                for table in self._tables
+                for members in table.values()
+                if (size := sum(m not in tombstones for m in members))
+            ]
+        else:
+            sizes = [
+                len(members)
+                for table in self._tables
+                for members in table.values()
+            ]
         for bulk in self._merged_bulk():
             if bulk is not None:
                 sizes.extend(bulk.sizes()[bulk.emit_order].tolist())
         return sizes
+
+    def _ensure_query_maps(self) -> list[dict]:
+        """Fold any new bulk slabs into the per-table query maps.
+
+        The maps index the *bulk* entries only (the dict tables are
+        already keyed for direct lookup) by ``(band key, suffix)`` with
+        members in insertion order. The fold is append-only — each slab
+        is visited exactly once across the index's lifetime, so a query
+        after ``add_many`` costs O(new slab entries), not O(index).
+        """
+        if self._query_maps is None:
+            self._query_maps = [{} for _ in range(self.num_tables)]
+        for slab in self._pending[self._query_cursor:]:
+            self._extend_query_maps(slab)
+        self._query_cursor = len(self._pending)
+        return self._query_maps
+
+    def _extend_query_maps(self, slab: _PendingSlab) -> None:
+        ids = slab.ids.tolist()
+        for table in range(self.num_tables):
+            bucket_map = self._query_maps[table]
+            keys = slab.key_matrix[:, table]
+            gate = None if slab.gate_entries is None else slab.gate_entries[table]
+            if gate is None:
+                for rid, key in zip(ids, keys.tolist()):
+                    bucket_map.setdefault((key, _NO_GATE), []).append(rid)
+            else:
+                entry_rows, suffixes = gate
+                entry_rows = np.asarray(entry_rows, dtype=np.int64)
+                if entry_rows.size == 0:
+                    continue
+                entry_keys = keys[entry_rows].tolist()
+                entry_ids = [ids[row] for row in entry_rows.tolist()]
+                if isinstance(suffixes, np.ndarray):
+                    entry_suffixes = suffixes.tolist()
+                else:
+                    entry_suffixes = [suffixes] * entry_rows.size
+                for rid, key, suffix in zip(entry_ids, entry_keys, entry_suffixes):
+                    bucket_map.setdefault((key, suffix), []).append(rid)
+
+    def query_keys(
+        self,
+        keys: Sequence[Hashable],
+        gate: GateFn | None = None,
+        *,
+        record_id: str | None = None,
+    ) -> list[str]:
+        """Live records sharing at least one bucket with these band keys.
+
+        The query does not mutate the index: nothing is inserted, and
+        the lazily built bulk query maps stay valid across later
+        ``add_many``/``remove`` calls (new slabs are folded in on the
+        next query; removals filter at lookup time).
+
+        Parameters
+        ----------
+        keys:
+            One band key per table, as :meth:`add` takes.
+        gate:
+            Optional semantic gate; for each table the query probes one
+            bucket per suffix the gate yields (an empty yield skips the
+            table, mirroring insertion-side exclusion).
+        record_id:
+            Optional id excluded from the result (the query record
+            itself, when it is already indexed).
+
+        Returns candidate ids in first-encounter order: table-major,
+        bucket insertion order within a table — deduplicated.
+        """
+        if len(keys) != self.num_tables:
+            raise ValueError(
+                f"expected {self.num_tables} band keys, got {len(keys)}"
+            )
+        query_maps = self._ensure_query_maps() if self._pending else None
+        tombstones = self._tombstones
+        seen: set[str] = set()
+        found: list[str] = []
+        for table_index, key in enumerate(keys):
+            if gate is None:
+                dict_suffixes: Sequence[Hashable] = (0,)
+                bulk_suffixes: Sequence[Hashable] = (_NO_GATE,)
+            else:
+                dict_suffixes = bulk_suffixes = gate(table_index, record_id or "")
+            table = self._tables[table_index]
+            for suffix in dict_suffixes:
+                for member in table.get((key, suffix), ()):
+                    if (
+                        member not in seen
+                        and member not in tombstones
+                        and member != record_id
+                    ):
+                        seen.add(member)
+                        found.append(member)
+            if query_maps is None:
+                continue
+            bucket_map = query_maps[table_index]
+            for suffix in bulk_suffixes:
+                for member in bucket_map.get((key, suffix), ()):
+                    if (
+                        member not in seen
+                        and member not in tombstones
+                        and member != record_id
+                    ):
+                        seen.add(member)
+                        found.append(member)
+        return found

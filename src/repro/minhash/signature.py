@@ -228,6 +228,22 @@ class GrowableSignatureSpill:
             shape=(n, self.num_hashes),
         )
 
+    def rows_so_far(self) -> np.ndarray:
+        """Read-only file-backed view of every row appended so far.
+
+        Unlike :meth:`finalize` this neither patches the header nor
+        closes the handle, so a long-lived writer — the online index
+        spilling signature slabs as records arrive — can inspect its
+        accumulated matrix mid-stream and keep appending afterwards.
+        An empty spill returns a plain ``(0, num_hashes)`` array.
+        """
+        if self._rows == 0:
+            return np.empty((0, self.num_hashes), dtype=np.uint64)
+        return np.memmap(
+            self.path, dtype=np.uint64, mode="r",
+            offset=SPILL_DATA_OFFSET, shape=(self._rows, self.num_hashes),
+        )
+
     def finalize(self) -> np.memmap:
         """Patch the header with the final shape; return the full matrix.
 

@@ -1,7 +1,7 @@
 """Record and dataset model with ground-truth bookkeeping."""
 
 from repro.records.record import Record
-from repro.records.dataset import Dataset
+from repro.records.dataset import Dataset, RecordStore
 from repro.records.ground_truth import (
     entity_clusters,
     sorted_pair,
@@ -19,6 +19,7 @@ from repro.records.pairs import (
 __all__ = [
     "Record",
     "Dataset",
+    "RecordStore",
     "sorted_pair",
     "true_match_pairs",
     "entity_clusters",

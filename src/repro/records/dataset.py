@@ -206,3 +206,74 @@ class Dataset:
             f"Dataset(name={self.name!r}, records={len(self)}, "
             f"entities={len(self.clusters)})"
         )
+
+
+class RecordStore:
+    """A mutable, ordered record collection — the resolver's corpus.
+
+    Where :class:`Dataset` is frozen at construction, a store accepts
+    :meth:`add`/:meth:`remove` over its lifetime (the online resolver
+    keeps it aligned with its blocking index) and can :meth:`snapshot`
+    the current membership into an immutable :class:`Dataset` at any
+    point, preserving insertion order. Ids must stay unique across the
+    store's whole history-free membership; :meth:`allocate_id` hands
+    out fresh ids for late arrivals that come without one.
+    """
+
+    def __init__(
+        self, records: Iterable[Record] = (), name: str = "store"
+    ) -> None:
+        self.name = name
+        self._by_id: dict[str, Record] = {}
+        self._allocated = 0
+        self.add_many(records)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._by_id.values())
+
+    def __contains__(self, record_id: object) -> bool:
+        return record_id in self._by_id
+
+    def __getitem__(self, record_id: str) -> Record:
+        try:
+            return self._by_id[record_id]
+        except KeyError:
+            raise DatasetError(f"no record with id {record_id!r}") from None
+
+    def add(self, record: Record) -> None:
+        """Insert one record; duplicate ids raise :class:`DatasetError`."""
+        if record.record_id in self._by_id:
+            raise DatasetError(f"duplicate record id {record.record_id!r}")
+        self._by_id[record.record_id] = record
+
+    def add_many(self, records: Iterable[Record]) -> None:
+        """Insert records in order; the store is unchanged on failure."""
+        staged = list(records)
+        seen: set[str] = set()
+        for record in staged:
+            if record.record_id in self._by_id or record.record_id in seen:
+                raise DatasetError(
+                    f"duplicate record id {record.record_id!r}"
+                )
+            seen.add(record.record_id)
+        for record in staged:
+            self._by_id[record.record_id] = record
+
+    def remove(self, record_id: str) -> Record:
+        """Drop and return one record; unknown ids raise ``KeyError``."""
+        return self._by_id.pop(record_id)
+
+    def allocate_id(self, prefix: str = "r") -> str:
+        """A fresh id no current member uses (monotonic per store)."""
+        while True:
+            self._allocated += 1
+            candidate = f"{prefix}{self._allocated}"
+            if candidate not in self._by_id:
+                return candidate
+
+    def snapshot(self, name: str | None = None) -> Dataset:
+        """The current membership frozen as a :class:`Dataset`."""
+        return Dataset(self._by_id.values(), name=name or self.name)

@@ -25,6 +25,7 @@ from repro.semantic.similarity import (
 )
 from repro.semantic.semhash import (
     SemhashEncoder,
+    recommended_sample_size,
     pack_signatures,
     pairwise_jaccard_packed,
     semhash_jaccard,
@@ -52,6 +53,7 @@ __all__ = [
     "leaf_expansion_similarity",
     "related_pairs",
     "SemhashEncoder",
+    "recommended_sample_size",
     "semhash_jaccard",
     "semhash_jaccard_packed",
     "pack_signatures",

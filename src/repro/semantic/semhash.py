@@ -16,13 +16,51 @@ similarity of two signatures equals the records' semantic similarity.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable
 
 import numpy as np
 
-from repro.errors import SemanticFunctionError
+from repro.errors import ConfigurationError, SemanticFunctionError
 from repro.records.record import Record
 from repro.semantic.interpretation import SemanticFunction
+
+
+def recommended_sample_size(
+    population: int,
+    *,
+    min_frequency: float = 0.01,
+    miss_probability: float = 0.01,
+    floor: int = 256,
+) -> int:
+    """Principled sample size for fitting a streamed semhash encoder.
+
+    A sample-fitted encoder (:meth:`SemhashEncoder.fit`) misses a leaf
+    concept — and silently drops it from every later signature — only
+    when *no* sampled record reaches it. For a concept reached by at
+    least a fraction ``p = min_frequency`` of the population, a uniform
+    sample of ``m`` records misses it with probability
+    ``(1 - p)^m <= exp(-p * m)``; solving ``exp(-p * m) <= delta`` for
+    ``delta = miss_probability`` gives ``m >= ln(1 / delta) / p``. The
+    default ``p = delta = 0.01`` yields m = 461: every concept covering
+    at least 1% of the stream survives with 99% probability, however
+    large the stream is — the required sample size is driven by the
+    rarity you care about, not the population. ``floor`` guards tiny
+    configurations and the result is capped at the population (a
+    sample cannot exceed it).
+    """
+    if not 0.0 < min_frequency <= 1.0:
+        raise ConfigurationError(
+            f"min_frequency must be in (0, 1], got {min_frequency}"
+        )
+    if not 0.0 < miss_probability < 1.0:
+        raise ConfigurationError(
+            f"miss_probability must be in (0, 1), got {miss_probability}"
+        )
+    if population <= 0:
+        return 0
+    needed = math.ceil(math.log(1.0 / miss_probability) / min_frequency)
+    return min(population, max(floor, needed))
 
 
 def semhash_jaccard(sig1: np.ndarray, sig2: np.ndarray) -> float:
@@ -175,6 +213,42 @@ class SemhashEncoder:
         recall can dip for records whose only shared concepts fall
         outside C; the streamed SA-LSH tests bound that dip.
         """
+        return cls(semantic_function, sample)
+
+    @classmethod
+    def fit_sampled(
+        cls,
+        semantic_function: SemanticFunction,
+        records: Iterable[Record],
+        *,
+        seed: int = 0,
+        min_frequency: float = 0.01,
+        miss_probability: float = 0.01,
+        floor: int = 256,
+    ) -> "SemhashEncoder":
+        """:meth:`fit` on a deterministic sample of principled size.
+
+        Draws :func:`recommended_sample_size` records uniformly (seeded,
+        so repeated fits agree) and freezes the encoder on them — the
+        standard way to bootstrap the streamed SA-LSH path when the
+        corpus is too large to interpret up front. See
+        :func:`recommended_sample_size` for the size rule and its
+        guarantee.
+        """
+        population = records if isinstance(records, list) else list(records)
+        size = recommended_sample_size(
+            len(population),
+            min_frequency=min_frequency,
+            miss_probability=miss_probability,
+            floor=floor,
+        )
+        if size >= len(population):
+            sample = population
+        else:
+            from repro.utils.rand import rng_from_seed
+
+            rng = rng_from_seed(seed, "semhash-fit-sample", size)
+            sample = rng.sample(population, size)
         return cls(semantic_function, sample)
 
     @classmethod

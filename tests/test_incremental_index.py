@@ -1,0 +1,218 @@
+"""Incremental ≡ rebuild equivalence for the four online indexes.
+
+Each blocker's ``online()`` index promises that after *any* interleaving
+of ``add_many`` / ``remove`` calls (DESIGN.md, "Resolver service"):
+
+* :meth:`blocks` equals a from-scratch rebuild over the surviving
+  records in insertion order — the batch ``block()`` for LSH, MP-LSH
+  and LSH-Forest, and ``block_stream`` under the index's frozen encoder
+  for SA-LSH (a batch rebuild would re-derive the semhash bit set from
+  the survivors alone, which is a different, not-incrementally-
+  reachable configuration);
+* :meth:`query` returns exactly what a freshly built index over the
+  survivors would return for the same probe — live ids only, never the
+  probe itself, no duplicates;
+* removed ids are retired permanently and re-adding them raises.
+
+The interleavings are seeded-random, so every run replays the same op
+sequences; the sharded variants assert the same contract with
+``processes=2`` and on a warm :class:`~repro.utils.parallel.ShardPool`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    LSHBlocker,
+    LSHForestBlocker,
+    MultiProbeLSHBlocker,
+    SALSHBlocker,
+)
+from repro.records import Dataset, Record
+from repro.semantic import (
+    PatternSemanticFunction,
+    VoterSemanticFunction,
+    cora_patterns,
+)
+from repro.taxonomy.builders import bibliographic_tree
+from repro.utils.parallel import ShardPool
+from repro.utils.rand import rng_from_seed
+
+BLOCKER_KINDS = ("lsh", "salsh", "mplsh", "forest")
+
+#: Per-corpus blocker parameters (matching the streamed SA-LSH suite).
+_PARAMS = {
+    "fig1": dict(attrs=("title", "authors"), q=3, k=2, l=3, seed=1),
+    "cora": dict(attrs=("authors", "title"), q=3, k=3, l=6, seed=3),
+    "voter": dict(attrs=("first_name", "last_name"), q=2, k=3, l=5, seed=3),
+}
+
+
+def _semantic_function(corpus_name, fig1_sf=None):
+    if corpus_name == "fig1":
+        return fig1_sf
+    if corpus_name == "cora":
+        return PatternSemanticFunction(bibliographic_tree(), cora_patterns())
+    return VoterSemanticFunction()
+
+
+def _blocker(kind, corpus_name, fig1_sf=None, **kw):
+    params = _PARAMS[corpus_name]
+    base = dict(q=params["q"], k=params["k"], l=params["l"],
+                seed=params["seed"], **kw)
+    attrs = params["attrs"]
+    if kind == "lsh":
+        return LSHBlocker(attrs, **base)
+    if kind == "salsh":
+        return SALSHBlocker(
+            attrs, semantic_function=_semantic_function(corpus_name, fig1_sf),
+            w="all" if corpus_name == "fig1" else 2, mode="or", **base,
+        )
+    if kind == "mplsh":
+        return MultiProbeLSHBlocker(attrs, **base)
+    return LSHForestBlocker(attrs, **base)
+
+
+def _rebuild_blocks(blocker, online, survivors):
+    """Blocks of a from-scratch rebuild over the surviving records."""
+    if isinstance(blocker, SALSHBlocker):
+        # The incremental index encodes against its frozen bit set;
+        # the honest rebuild is the streamed path under that encoder.
+        return blocker.block_stream([survivors], encoder=online.encoder).blocks
+    return blocker.block(Dataset(survivors, name="rebuild")).blocks
+
+
+def _fresh_online(blocker, online, survivors):
+    if isinstance(blocker, SALSHBlocker):
+        return blocker.online(survivors, encoder=online.encoder)
+    return blocker.online(survivors)
+
+
+def _check_equivalent(blocker, online, inserted, removed, probes):
+    survivors = [r for r in inserted if r.record_id not in removed]
+    assert online.blocks() == _rebuild_blocks(blocker, online, survivors)
+    rebuilt = _fresh_online(blocker, online, survivors)
+    live = {r.record_id for r in survivors}
+    for probe in probes:
+        candidates = online.query(probe)
+        assert sorted(candidates) == sorted(rebuilt.query(probe))
+        assert len(candidates) == len(set(candidates))
+        assert set(candidates) <= live - {probe.record_id}
+
+
+def _exercise(blocker, dataset, seed, *, num_ops=14):
+    """Replay one seeded add/remove interleaving, checking equivalence
+    twice mid-run and once at the end."""
+    records = list(dataset)
+    rng = rng_from_seed(seed, "incremental-ops", dataset.name)
+    rng.shuffle(records)
+    split = max(2, (2 * len(records)) // 3)
+    initial, pending = records[:split], records[split:]
+    online = blocker.online(initial)
+    inserted = list(initial)
+    removed: set[str] = set()
+    probes = rng.sample(records, min(6, len(records)))
+    check_at = set(rng.sample(range(num_ops), 2))
+    for step in range(num_ops):
+        op = rng.choice(("add", "add", "remove"))
+        if op == "add" and pending:
+            n = rng.randint(1, min(8, len(pending)))
+            slab, pending = pending[:n], pending[n:]
+            online.add_many(slab)
+            inserted.extend(slab)
+        elif len(inserted) - len(removed) > 2:
+            live = [r for r in inserted if r.record_id not in removed]
+            victim = rng.choice(live)
+            online.remove(victim.record_id)
+            removed.add(victim.record_id)
+        if step in check_at:
+            _check_equivalent(blocker, online, inserted, removed, probes)
+    assert removed, "interleaving never removed anything"
+    _check_equivalent(blocker, online, inserted, removed, probes)
+    return online
+
+
+class TestIncrementalEqualsRebuild:
+    @pytest.mark.parametrize("kind", BLOCKER_KINDS)
+    def test_fig1(self, fig1, fig1_sf, kind):
+        _exercise(_blocker(kind, "fig1", fig1_sf), fig1, seed=11)
+
+    @pytest.mark.parametrize("kind", BLOCKER_KINDS)
+    def test_cora(self, cora_small, kind):
+        _exercise(_blocker(kind, "cora"), cora_small, seed=12)
+
+    @pytest.mark.parametrize("kind", BLOCKER_KINDS)
+    def test_voter(self, voter_small, kind):
+        _exercise(_blocker(kind, "voter"), voter_small, seed=13)
+
+    @pytest.mark.parametrize("kind", BLOCKER_KINDS)
+    def test_slab_split_invariance(self, cora_small, kind):
+        # One bulk insertion vs record-by-record adds: identical end
+        # state (SA-LSH under a shared frozen encoder — record-by-record
+        # freezing would fix the bit set from the first record alone).
+        records = list(cora_small)[:60]
+        blocker = _blocker(kind, "cora")
+        bulk = blocker.online(records)
+        if kind == "salsh":
+            single = blocker.online((), encoder=bulk.encoder)
+        else:
+            single = blocker.online(())
+        for record in records:
+            single.add(record)
+        assert bulk.blocks() == single.blocks()
+        # Candidate sets are slab-layout-independent (ordering follows
+        # the physical slab walk, so only the set is contractual).
+        for probe in records[:5]:
+            assert sorted(bulk.query(probe)) == sorted(single.query(probe))
+
+
+class TestShardedRuntime:
+    @pytest.mark.parametrize("kind", ("lsh", "salsh"))
+    def test_processes_two(self, cora_small, kind):
+        _exercise(_blocker(kind, "cora", processes=2), cora_small, seed=21)
+
+    @pytest.mark.parametrize("kind", ("lsh", "salsh"))
+    def test_warm_pool(self, cora_small, kind):
+        with ShardPool(2) as pool:
+            _exercise(
+                _blocker(kind, "cora", processes=2, pool=pool),
+                cora_small, seed=22,
+            )
+
+
+class TestMutationContract:
+    @pytest.mark.parametrize("kind", BLOCKER_KINDS)
+    def test_removed_ids_are_retired(self, cora_small, kind):
+        records = list(cora_small)[:30]
+        online = _blocker(kind, "cora").online(records)
+        victim = records[0]
+        online.remove(victim.record_id)
+        assert online.is_retired(victim.record_id)
+        assert not online.is_retired(records[1].record_id)
+        with pytest.raises(KeyError):
+            online.add(victim)
+        with pytest.raises(KeyError):
+            online.remove(victim.record_id)  # already gone
+        with pytest.raises(KeyError):
+            online.remove("never-indexed")
+        assert online.num_live == len(records) - 1
+
+    @pytest.mark.parametrize("kind", BLOCKER_KINDS)
+    def test_query_never_mutates(self, cora_small, kind, fig1):
+        records = list(cora_small)[:30]
+        online = _blocker(kind, "cora").online(records)
+        before = online.blocks()
+        probes = records[:3] + list(fig1)[:2]  # known + foreign records
+        for probe in probes:
+            online.query(probe)
+            online.query(probe)
+        assert online.blocks() == before
+        assert online.num_live == len(records)
+
+    @pytest.mark.parametrize("kind", BLOCKER_KINDS)
+    def test_empty_record_queries_empty(self, cora_small, kind):
+        params = _PARAMS["cora"]
+        online = _blocker(kind, "cora").online(list(cora_small)[:50])
+        probe = Record("probe-empty", {a: "" for a in params["attrs"]})
+        assert online.query(probe) == []

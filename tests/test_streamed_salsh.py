@@ -16,6 +16,7 @@ import numpy as np
 import pytest
 
 from repro.core import SALSHBlocker
+from repro.errors import ConfigurationError
 from repro.evaluation import evaluate_blocks
 from repro.minhash import GrowableSignatureSpill, open_signature_memmap
 from repro.semantic import (
@@ -23,6 +24,7 @@ from repro.semantic import (
     SemhashEncoder,
     VoterSemanticFunction,
     cora_patterns,
+    recommended_sample_size,
 )
 from repro.taxonomy.builders import bibliographic_tree
 
@@ -159,6 +161,63 @@ class TestStreamedEqualsBatch:
         assert np.array_equal(
             np.asarray(matrix), blocker.hasher.signature_matrix(corpus)
         )
+
+
+class TestSampleSizeRule:
+    """The principled sample-size rule: m >= ln(1/delta) / p, floored
+    and capped at the population (DESIGN.md)."""
+
+    def test_size_formula(self):
+        # Defaults p = delta = 0.01: ceil(ln(100) / 0.01) = 461,
+        # independent of how large the population is.
+        assert recommended_sample_size(100_000) == 461
+        assert recommended_sample_size(10_000_000) == 461
+        # Rarer concepts need proportionally more records.
+        assert recommended_sample_size(100_000, min_frequency=0.001) == 4606
+        # The floor wins when the formula asks for less...
+        assert recommended_sample_size(100_000, min_frequency=0.05) == 256
+        # ...and the population caps everything.
+        assert recommended_sample_size(100) == 100
+        assert recommended_sample_size(300) == 300
+        assert recommended_sample_size(0) == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            recommended_sample_size(10, min_frequency=0.0)
+        with pytest.raises(ConfigurationError):
+            recommended_sample_size(10, min_frequency=1.5)
+        with pytest.raises(ConfigurationError):
+            recommended_sample_size(10, miss_probability=1.0)
+        with pytest.raises(ConfigurationError):
+            recommended_sample_size(10, miss_probability=0.0)
+
+    def test_fit_sampled_deterministic(self, voter_small):
+        records = list(voter_small)
+        first = SemhashEncoder.fit_sampled(
+            VoterSemanticFunction(), records, seed=5
+        )
+        second = SemhashEncoder.fit_sampled(
+            VoterSemanticFunction(), records, seed=5
+        )
+        assert first.bits == second.bits
+
+    def test_small_population_uses_everything(self, cora_small):
+        # 300 records < the 461 the rule asks for: the whole corpus is
+        # the sample, so the frozen bit set equals the full encoder's.
+        sampled = SemhashEncoder.fit_sampled(_cora_sf(), list(cora_small))
+        full = SemhashEncoder(_cora_sf(), cora_small)
+        assert sampled.bits == full.bits
+
+    def test_sampled_recall_within_tolerance(self, voter_small):
+        records = list(voter_small)
+        blocker = _voter_blocker()
+        full_metrics = evaluate_blocks(blocker.block(voter_small), voter_small)
+        encoder = SemhashEncoder.fit_sampled(
+            VoterSemanticFunction(), records, seed=1
+        )
+        streamed = blocker.block_stream(_slabs(records, 100), encoder=encoder)
+        metrics = evaluate_blocks(streamed, voter_small)
+        assert metrics.pc >= full_metrics.pc - SAMPLE_PC_TOLERANCE
 
 
 class TestSampleFrozenRecall:
