@@ -132,7 +132,11 @@ def _pool_context(args) -> "ShardPool | contextlib.nullcontext":
             "engine; the pool is unused",
             file=sys.stderr,
         )
-    return ShardPool(args.processes or None)
+    return ShardPool(
+        args.processes or None,
+        retry=getattr(args, "retries", None),
+        map_timeout=getattr(args, "map_timeout", None),
+    )
 
 
 def _resolver_from_args(args, dataset, pool: ShardPool | None) -> Resolver:
@@ -280,13 +284,14 @@ def cmd_query(args) -> int:
         resolved = resolver.resolve_many(list(queries))
     _emit_results(resolved, args.out)
     if args.out:
-        tiers = {tier: 0 for tier in ("match", "possible", "new")}
+        tiers = {tier: 0 for tier in ("match", "possible", "new", "error")}
         for entity in resolved:
             tiers[entity.tier] += 1
         print(
             f"resolved {len(resolved)} queries against {len(corpus)} "
             f"records ({tiers['match']} match / {tiers['possible']} "
-            f"possible / {tiers['new']} new) -> {args.out}"
+            f"possible / {tiers['new']} new / {tiers['error']} error) "
+            f"-> {args.out}"
         )
     return 0
 
@@ -358,6 +363,18 @@ def build_parser() -> argparse.ArgumentParser:
                               "executor + shared-memory slab transport) "
                               "instead of a fresh pool per parallel map; "
                               "identical blocks either way")
+        sub.add_argument("--retries", type=int, default=None,
+                         help="retry rounds after a recoverable pool "
+                              "failure (broken worker, corrupt slab, "
+                              "timeout) before the pooled map degrades "
+                              "to serial execution; 0 disables recovery "
+                              "and surfaces typed errors (default: the "
+                              "pool's self-healing policy)")
+        sub.add_argument("--map-timeout", type=float, default=None,
+                         help="seconds each pooled map attempt may run "
+                              "before hung workers are terminated and "
+                              "the unfinished payloads retried "
+                              "(default: no timeout)")
         sub.add_argument("--seed", type=int, default=0)
 
     def add_matcher_arguments(sub: argparse.ArgumentParser) -> None:

@@ -30,6 +30,7 @@ from repro.semantic.analysis import (
 from repro.semantic.interpretation import SemanticFunction
 from repro.semantic.semhash import SemhashEncoder
 from repro.utils.parallel import ShardPool
+from repro.utils.retry import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -47,6 +48,16 @@ class PipelineConfig:
     repeated pipeline runs shares one warm executor with shared-memory
     slab transport (tuning and evaluation are serial); the pool's
     process count wins over ``processes``.
+
+    ``retry`` and ``map_timeout`` tune the pool's fault tolerance
+    (DESIGN.md, "Fault tolerance & the degradation ladder"): ``retry``
+    is a :class:`~repro.utils.retry.RetryPolicy` or an int retry count
+    (``0`` disables recovery, surfacing typed errors instead of the
+    serial fallback), ``map_timeout`` bounds each pooled map attempt
+    in seconds. ``None`` (the default) leaves the pool's own settings
+    untouched; both apply to ``pool`` via
+    :meth:`~repro.utils.parallel.ShardPool.configure` when a blocker
+    is built.
     """
 
     attributes: tuple[str, ...]
@@ -62,6 +73,8 @@ class PipelineConfig:
     workers: int | None = 1
     processes: int | None = 1
     pool: ShardPool | None = None
+    retry: "RetryPolicy | int | None" = None
+    map_timeout: float | None = None
 
 
 @dataclass(frozen=True)
@@ -116,8 +129,15 @@ def build_blocker(
     Returns ``(blocker, gate, feature_quality)``; the latter two are
     ``None`` for plain LSH (no semantic function). Shared by
     :func:`run_pipeline` and :func:`build_resolver` so the batch and
-    online surfaces make identical parameter choices.
+    online surfaces make identical parameter choices. A caller-owned
+    ``pool`` picks up the config's fault-tolerance knobs here.
     """
+    if config.pool is not None and (
+        config.retry is not None or config.map_timeout is not None
+    ):
+        config.pool.configure(
+            retry=config.retry, map_timeout=config.map_timeout
+        )
     if semantic_function is None:
         blocker = LSHBlocker(
             config.attributes, q=config.q,

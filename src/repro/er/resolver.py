@@ -55,14 +55,21 @@ class ResolvedEntity:
     region, and ``'new'`` when nothing co-blocks or nothing scores
     above the possible threshold — the probe looks like a previously
     unseen entity. ``best_id`` is ``None`` exactly in the ``'new'``
-    tier; ``candidates`` holds every scored candidate, best first.
+    and ``'error'`` tiers; ``candidates`` holds every scored
+    candidate, best first.
+
+    ``tier='error'`` entries only come out of
+    :meth:`Resolver.resolve_many` with error isolation on: the probe
+    failed to resolve, ``error`` holds the failure message, and no
+    candidates are reported.
     """
 
     record_id: str
-    tier: str  # 'match' | 'possible' | 'new'
+    tier: str  # 'match' | 'possible' | 'new' | 'error'
     best_id: str | None
     best_score: float
     candidates: tuple[CandidateScore, ...]
+    error: str | None = None
 
     @property
     def num_candidates(self) -> int:
@@ -196,7 +203,33 @@ class Resolver:
         )
 
     def resolve_many(
-        self, records: Sequence[Record]
+        self, records: Sequence[Record], *, isolate_errors: bool = True
     ) -> list[ResolvedEntity]:
-        """Resolve a batch of probes (each against the same corpus)."""
-        return [self.resolve_one(record) for record in records]
+        """Resolve a batch of probes (each against the same corpus).
+
+        With ``isolate_errors`` (the default) one poisoned probe — a
+        malformed record, a semantic function blowing up on unexpected
+        input — yields a ``tier='error'`` entry carrying the failure
+        message instead of aborting the rest of the batch; the service
+        keeps answering for every well-formed probe. Pass
+        ``isolate_errors=False`` to get the old fail-fast behaviour.
+        """
+        if not isolate_errors:
+            return [self.resolve_one(record) for record in records]
+        resolved = []
+        for record in records:
+            try:
+                resolved.append(self.resolve_one(record))
+            except Exception as exc:
+                record_id = getattr(record, "record_id", None)
+                resolved.append(
+                    ResolvedEntity(
+                        record_id=str(record_id) if record_id else "",
+                        tier="error",
+                        best_id=None,
+                        best_score=0.0,
+                        candidates=(),
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+        return resolved

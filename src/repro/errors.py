@@ -32,3 +32,57 @@ class DatasetError(ReproError):
 
 class EvaluationError(ReproError):
     """Evaluation was attempted on inconsistent inputs."""
+
+
+class TransientRuntimeError(ReproError):
+    """A runtime failure that a retry (or a rebuilt worker pool) may fix.
+
+    The fault-tolerant parallel runtime (DESIGN.md, "Fault tolerance &
+    the degradation ladder") treats these as recoverable: the failed
+    payloads are re-shipped under the active
+    :class:`~repro.utils.retry.RetryPolicy` instead of aborting the
+    whole map.
+    """
+
+
+class SlabTransportError(TransientRuntimeError):
+    """A slab or spill file failed an integrity or write check.
+
+    Raised when a shared-memory slab (``.npy``/``.pkl``) or a signature
+    spill file is truncated, fails its length+checksum footer, or
+    cannot be written (e.g. a full tmpfs). Carries the offending
+    ``path`` and, for write failures, the OS ``errno`` — the retry
+    path uses both to decide between re-shipping the payload and
+    falling back to a disk-backed slab directory.
+    """
+
+    def __init__(
+        self, message: str, *, path: "str | None" = None,
+        errno: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.errno = errno
+
+    def __reduce__(self):
+        # Exceptions pickle by positional args only; carry the keyword
+        # attributes across the worker/parent process boundary too.
+        return (
+            _rebuild_slab_error,
+            (str(self), self.path, self.errno),
+        )
+
+
+def _rebuild_slab_error(message, path, errno):
+    return SlabTransportError(message, path=path, errno=errno)
+
+
+class PoolBrokenError(ReproError):
+    """A persistent worker pool died (or hung past its timeout).
+
+    Raised by :class:`~repro.utils.parallel.ShardPool` when its
+    executor breaks (e.g. an OOM-killed worker) or a map exceeds its
+    ``timeout`` and recovery is disabled or exhausted. The broken
+    executor is always torn down first, so the pool itself stays
+    usable: the next map forks a fresh executor.
+    """

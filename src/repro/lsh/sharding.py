@@ -23,6 +23,13 @@ DESIGN.md, "Process-sharded streaming runtime"):
 Worker functions are module-level (the pickling contract of
 :func:`repro.utils.parallel.map_processes`); payloads carry the
 shingler/hasher/semantic-function objects plus plain record lists.
+
+Because every sharded map goes through that one contract, the runtime's
+fault tolerance (DESIGN.md, "Fault tolerance & the degradation ladder")
+applies uniformly: a pooled map that loses a worker, times out or hits
+a corrupt slab re-ships only the unfinished slabs — and, in the worst
+case, computes them serially in-process — so the reassembled output
+stays byte-identical to the serial pass under any single fault.
 """
 
 from __future__ import annotations
@@ -92,7 +99,11 @@ def _pooled_slabs(records, processes, pool):
     Dataset) plus the slab layout, so repeated blocking calls over the
     same corpus reuse the parked slab files without even re-cutting the
     record list — the slab *contents* are identical either way, and all
-    three slab flavours share one parked copy per corpus.
+    three slab flavours share one parked copy per corpus. Interning is
+    best-effort: a pool whose slab directory cannot take the files
+    (even after its disk fallback) hands the slabs back unparked, and
+    the pool retains the originals so a parked file corrupted later can
+    be rewritten in place during fault recovery.
     """
     layout = effective_processes(processes, pool)
     if pool is not None:

@@ -20,14 +20,17 @@ from __future__ import annotations
 
 import os
 import struct
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SlabTransportError
 from repro.minhash.minhash import MinHasher
 from repro.minhash.shingling import Shingler
 from repro.records.dataset import Dataset
+from repro.utils import faults
+from repro.utils.parallel import slab_integrity_enabled
 
 
 @dataclass(frozen=True)
@@ -152,6 +155,72 @@ def _spill_header(shape: tuple[int, int]) -> bytes:
     )
 
 
+#: 16-byte integrity footer a finalized spill carries after its row
+#: data: magic, CRC32 of the (header-patched) preamble, row count.
+#: ``np.load`` ignores trailing bytes, so footered spills stay plain
+#: ``.npy`` files; :func:`validate_spill` uses the footer to reject
+#: truncated or header-corrupted spills on attach.
+SPILL_FOOTER_MAGIC = b"RSPF"
+_SPILL_FOOTER_LEN = 16
+
+
+def _spill_footer(rows: int, num_hashes: int) -> bytes:
+    preamble = _spill_header((rows, num_hashes))
+    return (
+        SPILL_FOOTER_MAGIC
+        + struct.pack("<I", zlib.crc32(preamble))
+        + struct.pack("<Q", rows)
+    )
+
+
+def validate_spill(path: str | os.PathLike, num_hashes: int) -> int:
+    """Validate a closed spill's integrity footer; return its row count.
+
+    Checks that the footer is present, that its CRC matches the
+    ``.npy`` preamble for the advertised shape, and that the file holds
+    exactly the advertised row bytes — i.e. the spill was closed
+    cleanly and not truncated or corrupted since. Raises
+    :class:`~repro.errors.SlabTransportError` on any mismatch.
+    """
+    path = os.fspath(path)
+    try:
+        size = os.path.getsize(path)
+        with open(path, "rb") as handle:
+            preamble = handle.read(SPILL_DATA_OFFSET)
+            handle.seek(max(size - _SPILL_FOOTER_LEN, 0))
+            footer = handle.read(_SPILL_FOOTER_LEN)
+    except OSError as exc:
+        raise SlabTransportError(
+            f"spill file {path} unreadable: {exc}", path=path,
+            errno=exc.errno,
+        ) from exc
+    if size < SPILL_DATA_OFFSET + _SPILL_FOOTER_LEN or len(footer) < _SPILL_FOOTER_LEN:
+        raise SlabTransportError(
+            f"spill file {path} too short for an integrity footer "
+            f"({size} bytes)", path=path,
+        )
+    if footer[:4] != SPILL_FOOTER_MAGIC:
+        raise SlabTransportError(
+            f"spill file {path} is missing its integrity footer "
+            "(truncated, or closed by a pre-footer writer)", path=path,
+        )
+    (crc,) = struct.unpack("<I", footer[4:8])
+    (rows,) = struct.unpack("<Q", footer[8:16])
+    expected = _spill_header((rows, num_hashes))
+    if preamble != expected or crc != zlib.crc32(expected):
+        raise SlabTransportError(
+            f"spill file {path} failed its header checksum "
+            f"(advertised {rows} rows x {num_hashes} hashes)", path=path,
+        )
+    data_end = SPILL_DATA_OFFSET + rows * 8 * num_hashes
+    if size != data_end + _SPILL_FOOTER_LEN:
+        raise SlabTransportError(
+            f"spill file {path} holds {size - SPILL_DATA_OFFSET - _SPILL_FOOTER_LEN} "
+            f"data bytes but advertises {rows} rows", path=path,
+        )
+    return rows
+
+
 class GrowableSignatureSpill:
     """Append-to-file signature spill for streams of unknown length.
 
@@ -220,8 +289,22 @@ class GrowableSignatureSpill:
         if n == 0:
             return np.empty((0, self.num_hashes), dtype=np.uint64)
         offset = SPILL_DATA_OFFSET + self._rows * 8 * self.num_hashes
-        self._file.write(np.ascontiguousarray(matrix).tobytes())
-        self._file.flush()
+        try:
+            faults.maybe_fail("spill.write_error", path=self.path)
+            self._file.write(np.ascontiguousarray(matrix).tobytes())
+            self._file.flush()
+        except OSError as exc:
+            # Close-and-salvage: the rows written *before* this slab
+            # are intact, so patch them into the header (dropping any
+            # partial bytes of the failed slab) and surface a typed,
+            # transient error instead of leaving the spill with a
+            # live handle over inconsistent state.
+            self.close()
+            raise SlabTransportError(
+                f"spill write failed after {self._rows} rows "
+                f"({exc}); spill closed and salvaged at {self.path}",
+                path=self.path, errno=exc.errno,
+            ) from exc
         self._rows += n
         return np.memmap(
             self.path, dtype=np.uint64, mode="r", offset=offset,
@@ -249,9 +332,15 @@ class GrowableSignatureSpill:
 
         Idempotent: later calls reopen the finalized file. The returned
         memory map is read-only; an empty stream finalizes to a valid
-        ``(0, num_hashes)`` array.
+        ``(0, num_hashes)`` array. When slab integrity is enabled (the
+        default) the file's footer is validated before attaching, so a
+        spill truncated or corrupted behind the writer's back raises
+        :class:`~repro.errors.SlabTransportError` instead of handing
+        out a garbage matrix.
         """
         self.close()
+        if slab_integrity_enabled():
+            validate_spill(self.path, self.num_hashes)
         return np.load(self.path, mmap_mode="r")
 
     def close(self) -> None:
@@ -266,8 +355,15 @@ class GrowableSignatureSpill:
             return
         file, self._file = self._file, None
         try:
+            data_end = SPILL_DATA_OFFSET + self._rows * 8 * self.num_hashes
             file.seek(0)
             file.write(_spill_header((self._rows, self.num_hashes)))
+            file.flush()
+            # Drop any partial bytes of an aborted append, then seal
+            # the consistent prefix with the integrity footer.
+            file.truncate(data_end)
+            file.seek(data_end)
+            file.write(_spill_footer(self._rows, self.num_hashes))
             file.flush()
         finally:
             file.close()

@@ -1,6 +1,8 @@
 """Small shared utilities: seeded randomness, universal hashing,
-bounded caching, and thread-/process-parallel execution (including
-the persistent :class:`~repro.utils.parallel.ShardPool`)."""
+bounded caching, thread-/process-parallel execution (including the
+persistent :class:`~repro.utils.parallel.ShardPool`), retry policies
+for the fault-tolerant pooled runtime, and deterministic fault
+injection (:mod:`repro.utils.faults`)."""
 
 from repro.utils.rand import derive_seed, rng_from_seed
 from repro.utils.hashing import MERSENNE_PRIME_61, UniversalHashFamily, stable_hash
@@ -12,7 +14,10 @@ from repro.utils.parallel import (
     resolve_processes,
     resolve_workers,
     run_chunked,
+    set_slab_integrity,
+    slab_integrity_enabled,
 )
+from repro.utils.retry import NO_RETRY, RetryPolicy, as_retry_policy
 
 __all__ = [
     "derive_seed",
@@ -27,4 +32,9 @@ __all__ = [
     "resolve_processes",
     "resolve_workers",
     "run_chunked",
+    "set_slab_integrity",
+    "slab_integrity_enabled",
+    "NO_RETRY",
+    "RetryPolicy",
+    "as_retry_policy",
 ]

@@ -1,0 +1,98 @@
+"""Bounded retry with capped exponential backoff.
+
+The fault-tolerant parallel runtime (DESIGN.md, "Fault tolerance & the
+degradation ladder") re-ships failed payloads instead of aborting the
+map; :class:`RetryPolicy` bounds how often and how patiently it does
+so. The policy is a frozen value object: attempts are bounded, the
+backoff doubles per retry up to a cap, and the sleep function is
+injectable so tests (and the fault-injection harness) never actually
+wait.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times, and how patiently, to retry a transient failure.
+
+    Attributes
+    ----------
+    retries:
+        Retry rounds *after* the first attempt (``0`` disables
+        retrying entirely).
+    backoff:
+        Base delay in seconds before the first retry; each further
+        retry doubles it.
+    max_backoff:
+        Cap on any single delay.
+    sleep:
+        The function that actually waits — injectable so tests run the
+        full ladder without wall-clock cost.
+    fallback_serial:
+        Whether a map whose retries are exhausted (or disabled) may
+        degrade to serial in-process execution of the remaining
+        payloads — the final rung of the degradation ladder. With
+        ``False`` the failure surfaces as a typed error instead
+        (:class:`~repro.errors.PoolBrokenError` /
+        :class:`~repro.errors.SlabTransportError`).
+    """
+
+    retries: int = 2
+    backoff: float = 0.05
+    max_backoff: float = 2.0
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+    fallback_serial: bool = True
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ConfigurationError(
+                f"retries must be >= 0, got {self.retries}"
+            )
+        if self.backoff < 0 or self.max_backoff < 0:
+            raise ConfigurationError(
+                "backoff delays must be >= 0, got "
+                f"backoff={self.backoff}, max_backoff={self.max_backoff}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (0-based)."""
+        return min(self.backoff * (2 ** attempt), self.max_backoff)
+
+    def pause(self, attempt: int) -> None:
+        """Sleep the backoff delay for retry number ``attempt``."""
+        seconds = self.delay(attempt)
+        if seconds > 0:
+            self.sleep(seconds)
+
+
+#: Policy used when recovery is explicitly disabled (``retry=0``):
+#: no retries, no serial fallback — failures surface as typed errors.
+NO_RETRY = RetryPolicy(retries=0, fallback_serial=False)
+
+
+def as_retry_policy(retry: "RetryPolicy | int | None") -> RetryPolicy:
+    """Normalise a ``retry=`` knob into a :class:`RetryPolicy`.
+
+    ``None`` means the default self-healing policy; an integer sets the
+    retry count (``0`` disables recovery entirely, including the serial
+    fallback — the pre-fault-tolerance fail-fast behaviour, surfaced as
+    typed errors).
+    """
+    if retry is None:
+        return RetryPolicy()
+    if isinstance(retry, RetryPolicy):
+        return retry
+    if isinstance(retry, bool) or not isinstance(retry, int):
+        raise ConfigurationError(
+            f"retry must be a RetryPolicy, an int or None, got {retry!r}"
+        )
+    if retry == 0:
+        return NO_RETRY
+    return RetryPolicy(retries=retry)
