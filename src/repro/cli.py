@@ -57,7 +57,10 @@ from repro.semantic import (
     VoterSemanticFunction,
     cora_patterns,
 )
+from repro.store import latest_checkpoint
+from repro.store.journal import FSYNC_MODES
 from repro.taxonomy.builders import bibliographic_tree
+from repro.utils import faults
 from repro.utils.parallel import ShardPool
 
 #: Built-in semantic domains for the salsh technique.
@@ -152,7 +155,13 @@ def _resolver_from_args(args, dataset, pool: ShardPool | None) -> Resolver:
         match_threshold=args.match_threshold,
         possible_threshold=args.possible_threshold,
     )
-    return Resolver(blocker, dataset, matcher=matcher)
+    return Resolver(
+        blocker,
+        dataset,
+        matcher=matcher,
+        state_dir=getattr(args, "state_dir", None),
+        fsync=getattr(args, "fsync", "always"),
+    )
 
 
 #: Output columns of ``query`` and ``serve-batch``.
@@ -185,7 +194,9 @@ def _read_ops_csv(path: str) -> list[tuple[str, Record]]:
     """Read a serve-batch operations CSV.
 
     Needs ``op`` and ``record_id`` columns; every other column becomes
-    a record attribute (``remove`` rows only use the id).
+    a record attribute (``remove`` rows only use the id). Malformed
+    rows raise a :class:`ReproError` naming the offending source line
+    (the CLI turns that into exit code 2, not a traceback).
     """
     operations: list[tuple[str, Record]] = []
     with open(path, newline="", encoding="utf-8") as handle:
@@ -197,16 +208,29 @@ def _read_ops_csv(path: str) -> list[tuple[str, Record]]:
                 f"ops CSV {path} needs 'op' and 'record_id' columns; "
                 f"found {reader.fieldnames}"
             )
-        for row in reader:
+        rows = iter(reader)
+        while True:
+            try:
+                row = next(rows)
+            except StopIteration:
+                break
+            except csv.Error as exc:
+                raise ReproError(
+                    f"ops CSV {path} line {reader.line_num}: malformed "
+                    f"row ({exc})"
+                ) from exc
             op = (row.get("op") or "").strip().lower()
             if op not in _SERVE_OPS:
                 raise ReproError(
-                    f"unknown op {op!r} in {path}; "
-                    f"known: {', '.join(_SERVE_OPS)}"
+                    f"ops CSV {path} line {reader.line_num}: unknown op "
+                    f"{op!r}; known: {', '.join(_SERVE_OPS)}"
                 )
             record_id = (row.get("record_id") or "").strip()
             if not record_id:
-                raise ReproError(f"ops CSV {path} contains a row without an id")
+                raise ReproError(
+                    f"ops CSV {path} line {reader.line_num}: row has no "
+                    "record_id value"
+                )
             fields = {
                 key: value or ""
                 for key, value in row.items()
@@ -297,10 +321,19 @@ def cmd_query(args) -> int:
 
 
 def cmd_serve_batch(args) -> int:
-    corpus = read_csv(args.input)
     operations = _read_ops_csv(args.ops)
+    state_dir = getattr(args, "state_dir", None)
+    resume = state_dir is not None and latest_checkpoint(state_dir) is not None
     with _pool_context(args) as pool:
-        resolver = _resolver_from_args(args, corpus, pool)
+        if resume:
+            # The directory already holds resolver state: recover it
+            # (checkpoint + journal tail) instead of re-seeding.
+            resolver = Resolver.open(
+                state_dir, fsync=getattr(args, "fsync", "always")
+            )
+        else:
+            corpus = read_csv(args.input)
+            resolver = _resolver_from_args(args, corpus, pool)
         resolved = []
         for op, record in operations:
             if op == "add":
@@ -314,12 +347,34 @@ def cmd_serve_batch(args) -> int:
                     ) from None
             else:
                 resolved.append(resolver.resolve_one(record))
+        if state_dir is not None:
+            resolver.save()  # compact: fold the journal into a checkpoint
+        resolver.close()
     _emit_results(resolved, args.out)
     if args.out:
+        source = f"state dir {state_dir}" if resume else args.input
         print(
             f"applied {len(operations)} operations "
-            f"({len(resolved)} queries) against {args.input} -> {args.out}"
+            f"({len(resolved)} queries) against {source} -> {args.out}"
         )
+    return 0
+
+
+def cmd_recover(args) -> int:
+    resolver = Resolver.open(args.state_dir, fsync=args.fsync)
+    tail = resolver.last_seq
+    print(
+        f"recovered {len(resolver)} records from {args.state_dir} "
+        f"(journal seq {tail})"
+    )
+    if args.queries:
+        probes = read_csv(args.queries)
+        resolved = resolver.resolve_many(list(probes))
+        _emit_results(resolved, args.out)
+    if args.compact:
+        resolver.save()
+        print(f"compacted journal into a fresh checkpoint (seq {tail})")
+    resolver.close()
     return 0
 
 
@@ -426,14 +481,43 @@ def build_parser() -> argparse.ArgumentParser:
              "online resolver, emitting one result row per query op",
     )
     serve.add_argument("--input", required=True,
-                       help="corpus CSV seeding the resolver")
+                       help="corpus CSV seeding the resolver (ignored "
+                            "when --state-dir already holds a checkpoint "
+                            "— the saved state is recovered instead)")
     serve.add_argument("--ops", required=True,
                        help="operations CSV with op + record_id columns")
     add_blocker_arguments(serve)
     add_matcher_arguments(serve)
+    serve.add_argument("--state-dir", default=None,
+                       help="durability root: checkpoint + write-ahead "
+                            "journal; every add/remove is journaled "
+                            "before it is applied, so a crash — even "
+                            "kill -9 — loses no acknowledged operation")
+    serve.add_argument("--fsync", choices=FSYNC_MODES, default="always",
+                       help="journal fsync discipline (default: always)")
     serve.add_argument("--out", default=None,
                        help="result CSV (default: stdout)")
     serve.set_defaults(func=cmd_serve_batch)
+
+    recover = commands.add_parser(
+        "recover",
+        help="recover a resolver from a --state-dir after a crash: "
+             "load the latest checkpoint, replay the journal tail, "
+             "report what survived",
+    )
+    recover.add_argument("--state-dir", required=True,
+                         help="durability root written by serve-batch "
+                              "--state-dir (or Resolver.save)")
+    recover.add_argument("--queries", default=None,
+                         help="optional CSV of probe records to resolve "
+                              "against the recovered corpus")
+    recover.add_argument("--out", default=None,
+                         help="result CSV for --queries (default: stdout)")
+    recover.add_argument("--compact", action="store_true",
+                         help="write a fresh checkpoint after recovery, "
+                              "folding the journal tail in")
+    recover.add_argument("--fsync", choices=FSYNC_MODES, default="always")
+    recover.set_defaults(func=cmd_recover)
 
     return parser
 
@@ -441,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    faults.arm_from_env()  # deterministic fault/crash injection hook
     try:
         return args.func(args)
     except ReproError as error:

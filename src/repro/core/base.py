@@ -242,3 +242,26 @@ class OnlineIndex(ABC):
     @abstractmethod
     def blocks(self) -> tuple[Block, ...]:
         """Current blocks over the live records (batch-equivalent)."""
+
+    def checkpoint(self) -> dict:
+        """The index's durable mutation state, as a state dict.
+
+        Because every implementation keeps the incremental≡rebuild
+        equivalence (``blocks()`` after any add/remove interleaving
+        equals a from-scratch rebuild over the survivors in insertion
+        order), a checkpoint does not persist internal tables — only
+        the state a survivor rebuild cannot rederive: the retired-id
+        set, and for frozen-encoder indexes the encoder itself (under
+        the ``"encoder"`` key, pickled by the checkpoint writer).
+        :meth:`restore` applies the dict to an index freshly rebuilt
+        from the surviving records.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
+
+    def restore(self, state: dict) -> None:
+        """Apply :meth:`checkpoint` state to a survivor-rebuilt index."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpointing"
+        )

@@ -157,6 +157,17 @@ class OnlineLSHIndex(OnlineIndex):
     def blocks(self):
         return make_blocks(self._index.blocks())
 
+    @property
+    def banded_index(self) -> BandedLSHIndex:
+        """The underlying banded index (the on-disk exporter's input)."""
+        return self._index
+
+    def checkpoint(self) -> dict:
+        return {"kind": "lsh", "retired": self._index.retired_ids()}
+
+    def restore(self, state: dict) -> None:
+        self._index.restore_retired(state.get("retired", ()))
+
 
 class LSHBlocker(Blocker):
     """Banded minhash LSH over textual similarity only.

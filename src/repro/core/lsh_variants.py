@@ -492,6 +492,23 @@ class _VariantOnlineBase(OnlineIndex):
     def num_live(self) -> int:
         return len(self._ids_seen) - len(self._tombstones)
 
+    def checkpoint(self) -> dict:
+        return {"kind": self.blocker.name, "retired": sorted(self._tombstones)}
+
+    def restore(self, state: dict) -> None:
+        for record_id in state.get("retired", ()):
+            if (
+                record_id in self._ids_seen
+                and record_id not in self._tombstones
+            ):
+                raise KeyError(
+                    f"cannot retire live record {record_id!r} during "
+                    "restore; retired ids must be absent from the "
+                    "survivor rebuild"
+                )
+            self._ids_seen.add(record_id)
+            self._tombstones.add(record_id)
+
     def _all_ids(self) -> np.ndarray:
         if not self._id_slabs:
             return np.empty(0, dtype=object)
@@ -676,6 +693,10 @@ class OnlineForestIndex(_VariantOnlineBase):
 
     def remove(self, record_id: str) -> None:
         super().remove(record_id)
+        self._live = None
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
         self._live = None
 
     def _live_arrays(self) -> tuple[np.ndarray, np.ndarray]:

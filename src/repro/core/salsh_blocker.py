@@ -140,6 +140,32 @@ class OnlineSALSHIndex(OnlineIndex):
     def blocks(self):
         return make_blocks(self._index.blocks())
 
+    @property
+    def banded_index(self) -> BandedLSHIndex:
+        """The underlying banded index (the on-disk exporter's input)."""
+        return self._index
+
+    def checkpoint(self) -> dict:
+        # The frozen encoder is part of the durable state: a survivor
+        # rebuild must gate later additions against the *same* bit set
+        # the pre-crash index froze (the checkpoint writer pickles the
+        # "encoder" value; everything else is JSON).
+        return {
+            "kind": "salsh",
+            "retired": self._index.retired_ids(),
+            "encoder": self.encoder,
+        }
+
+    def restore(self, state: dict) -> None:
+        encoder = state.get("encoder")
+        if encoder is not None and self.encoder is None:
+            # Every record was removed before the checkpoint: the
+            # survivor rebuild saw no slab to freeze from, but the
+            # pre-crash encoder must still gate future additions.
+            self.encoder = encoder
+            self._gates = self.blocker._gates(encoder.num_bits)
+        self._index.restore_retired(state.get("retired", ()))
+
 
 class SALSHBlocker(Blocker):
     """Semantic-aware LSH blocker.

@@ -86,3 +86,21 @@ class PoolBrokenError(ReproError):
     executor is always torn down first, so the pool itself stays
     usable: the next map forks a fresh executor.
     """
+
+
+class DurabilityError(ReproError):
+    """Persistent resolver state is missing, corrupt, or inconsistent.
+
+    Raised by the :mod:`repro.store` durability layer when a checkpoint
+    manifest fails its per-file checksums, an on-disk index segment is
+    truncated or carries the wrong magic, a state directory has no
+    recoverable checkpoint, or a journal's header is not a journal at
+    all. A *torn tail* on the write-ahead journal is not an error — the
+    replay truncates at the first bad frame by design; this exception
+    marks damage recovery must not paper over. Carries the offending
+    ``path`` when one is known.
+    """
+
+    def __init__(self, message: str, *, path: "str | None" = None) -> None:
+        super().__init__(message)
+        self.path = path

@@ -346,6 +346,108 @@ class BandedLSHIndex:
         """Distinct inserted ids minus tombstoned ones."""
         return len(self._ids_seen) - len(self._tombstones)
 
+    def retired_ids(self) -> list[str]:
+        """Sorted retired ids — the checkpointable removal state."""
+        return sorted(self._tombstones)
+
+    def restore_retired(self, record_ids: Iterable[str]) -> None:
+        """Re-register retired ids on an index rebuilt from survivors.
+
+        A checkpoint restores an online index by re-inserting the
+        surviving records and then replaying the retired-id set through
+        this method, so re-adding a removed id keeps raising after
+        recovery exactly as it did before the crash. The ids must not
+        name live records (they were removed, so a survivor rebuild
+        never contains them).
+        """
+        for record_id in record_ids:
+            if record_id in self._ids_seen and record_id not in self._tombstones:
+                raise KeyError(
+                    f"cannot retire live record {record_id!r} during "
+                    "restore; retired ids must be absent from the "
+                    "survivor rebuild"
+                )
+            self._ids_seen.add(record_id)
+            self._tombstones.add(record_id)
+        self._bulk = None
+
+    def export_entries(
+        self,
+    ) -> tuple[np.ndarray, "list[list[tuple[np.ndarray, np.ndarray, object]]]"]:
+        """Raw live bulk entries for the on-disk index exporter.
+
+        Returns ``(ids, tables)``: ``ids`` is the live record ids in
+        insertion order; ``tables`` holds, per table, a list of
+        ``(rows, keys, suffixes)`` segments in insertion order, where
+        ``rows`` are int64 indices into ``ids``, ``keys`` the
+        segment's fixed-width band keys (aligned with ``rows``) and
+        ``suffixes`` is ``None`` for ungated entries, a per-entry
+        non-negative int array for OR gates, or the scalar suffix
+        shared by the whole segment for AND-style gates. Tombstoned
+        records are dropped. Entries created through the per-record
+        :meth:`add` path (the legacy equivalence path) have no batch
+        layout and cannot be exported.
+        """
+        for table in self._tables:
+            if table:
+                raise ValueError(
+                    "per-record add() entries cannot be exported to disk; "
+                    "build the index through add_many (the batch path)"
+                )
+        slabs = self._pending
+        if slabs:
+            ids_all = (
+                slabs[0].ids
+                if len(slabs) == 1
+                else np.concatenate([slab.ids for slab in slabs])
+            )
+        else:
+            ids_all = np.empty(0, dtype=object)
+        bases = np.cumsum([0] + [slab.ids.size for slab in slabs])
+        if self._tombstones:
+            tombstones = self._tombstones
+            keep = np.fromiter(
+                (rid not in tombstones for rid in ids_all.tolist()),
+                dtype=bool,
+                count=ids_all.size,
+            )
+            live_ids = ids_all[keep]
+            live_row = np.cumsum(keep, dtype=np.int64) - 1
+        else:
+            keep = None
+            live_ids = ids_all
+            live_row = None
+        tables: list[list[tuple[np.ndarray, np.ndarray, object]]] = []
+        for table in range(self.num_tables):
+            segments: list[tuple[np.ndarray, np.ndarray, object]] = []
+            for slab, base in zip(slabs, bases):
+                keys = slab.key_matrix[:, table]
+                gate = (
+                    None if slab.gate_entries is None
+                    else slab.gate_entries[table]
+                )
+                if gate is None:
+                    rows = np.arange(slab.ids.size, dtype=np.int64) + base
+                    suffixes: object = None
+                else:
+                    entry_rows, suffixes = gate
+                    entry_rows = np.asarray(entry_rows, dtype=np.int64)
+                    keys = keys[entry_rows]
+                    rows = entry_rows + base
+                if keep is not None:
+                    mask = keep[rows]
+                    rows = rows[mask]
+                    keys = keys[mask]
+                    if isinstance(suffixes, np.ndarray):
+                        suffixes = suffixes[mask]
+                if rows.size == 0:
+                    continue
+                if live_row is not None:
+                    rows = live_row[rows]
+                segments.append((rows, np.asarray(keys), suffixes))
+            tables.append(segments)
+        return live_ids, tables
+
     def _merged_bulk(self) -> list[_BulkBuckets | None]:
         """Group all pending slabs per table, merging across slabs.
 

@@ -218,6 +218,31 @@ def validate_spill(path: str | os.PathLike, num_hashes: int) -> int:
             f"spill file {path} holds {size - SPILL_DATA_OFFSET - _SPILL_FOOTER_LEN} "
             f"data bytes but advertises {rows} rows", path=path,
         )
+    # Round-trip check: the patched header must parse back (through
+    # numpy's own reader, not our renderer) to exactly the advertised
+    # shape — what np.load, rows_so_far() and reopen() will all see.
+    try:
+        with open(path, "rb") as handle:
+            version = np.lib.format.read_magic(handle)
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(
+                handle
+            )
+    except (OSError, ValueError) as exc:
+        raise SlabTransportError(
+            f"spill file {path} header does not parse as .npy: {exc}",
+            path=path,
+        ) from exc
+    if (
+        version != (1, 0)
+        or fortran
+        or dtype != np.dtype(np.uint64)
+        or shape != (rows, num_hashes)
+    ):
+        raise SlabTransportError(
+            f"spill file {path} header round-trips to {shape} "
+            f"{dtype}, not the advertised ({rows}, {num_hashes}) uint64",
+            path=path,
+        )
     return rows
 
 
@@ -256,6 +281,36 @@ class GrowableSignatureSpill:
         self._file = open(self.path, "w+b")
         self._file.write(_spill_header((0, num_hashes)))
         self._file.flush()
+
+    @classmethod
+    def reopen(
+        cls, path: str | os.PathLike, num_hashes: int
+    ) -> "GrowableSignatureSpill":
+        """Resume appending to a closed (or salvaged) spill.
+
+        Validates the sealed file first — footer, header checksum and
+        the header round-trip, so a spill that :meth:`close` patched
+        after a failed append is accepted exactly at its salvaged row
+        count. The integrity footer is dropped and the writer
+        positioned after the existing rows: :meth:`rows_so_far`
+        immediately reports every previously written row and later
+        appends extend them; :meth:`close` re-seals the file.
+        """
+        if num_hashes < 1:
+            raise ConfigurationError(
+                f"num_hashes must be >= 1, got {num_hashes}"
+            )
+        rows = validate_spill(path, num_hashes)
+        spill = cls.__new__(cls)
+        spill.path = os.fspath(path)
+        spill.num_hashes = num_hashes
+        spill._rows = rows
+        handle = open(spill.path, "r+b")
+        data_end = SPILL_DATA_OFFSET + rows * 8 * num_hashes
+        handle.truncate(data_end)
+        handle.seek(data_end)
+        spill._file = handle
+        return spill
 
     @property
     def num_records(self) -> int:

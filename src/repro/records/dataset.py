@@ -277,3 +277,38 @@ class RecordStore:
     def snapshot(self, name: str | None = None) -> Dataset:
         """The current membership frozen as a :class:`Dataset`."""
         return Dataset(self._by_id.values(), name=name or self.name)
+
+    def snapshot_state(self) -> dict:
+        """The store as a JSON-serialisable state dict.
+
+        Captures everything :meth:`from_snapshot_state` needs to
+        rebuild a behaviourally identical store: records in insertion
+        order (order matters — the online indexes rebuild from it and
+        their blocks are insertion-order sensitive) and the
+        :meth:`allocate_id` counter, so a restored store never re-hands
+        an id allocated before the snapshot.
+        """
+        return {
+            "name": self.name,
+            "allocated": self._allocated,
+            "records": [
+                [r.record_id, dict(r.fields), r.entity_id]
+                for r in self._by_id.values()
+            ],
+        }
+
+    @classmethod
+    def from_snapshot_state(cls, state: dict) -> "RecordStore":
+        """Rebuild a store from :meth:`snapshot_state` output."""
+        try:
+            records = [
+                Record(rid, fields, entity_id=entity)
+                for rid, fields, entity in state["records"]
+            ]
+            store = cls(records, name=state["name"])
+            store._allocated = int(state["allocated"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DatasetError(
+                f"malformed record-store snapshot: {exc}"
+            ) from exc
+        return store

@@ -46,7 +46,8 @@ def read_csv(
     Raises
     ------
     DatasetError
-        If the id column is missing or a row has no id.
+        If the id column is missing or a row is malformed; the message
+        names the offending source line.
     """
     path = Path(path)
     records = []
@@ -60,10 +61,23 @@ def read_csv(
         has_entity = (
             entity_column is not None and entity_column in reader.fieldnames
         )
-        for row in reader:
+        rows = iter(reader)
+        while True:
+            try:
+                row = next(rows)
+            except StopIteration:
+                break
+            except csv.Error as exc:
+                raise DatasetError(
+                    f"CSV {path} line {reader.line_num}: malformed row "
+                    f"({exc})"
+                ) from exc
             record_id = (row.get(id_column) or "").strip()
             if not record_id:
-                raise DatasetError(f"CSV {path} contains a row without an id")
+                raise DatasetError(
+                    f"CSV {path} line {reader.line_num}: row has no "
+                    f"{id_column!r} value"
+                )
             entity = (row.get(entity_column) or "").strip() if has_entity else ""
             fields = {
                 key: value or ""

@@ -1,0 +1,462 @@
+"""On-disk banded index: sorted band-key runs in mmapped ``.npy`` files.
+
+``write_index`` persists a :class:`~repro.lsh.index.BandedLSHIndex`
+(or an online LSH/SA-LSH index wrapping one) as a directory of numpy
+segments; ``open_index`` memory-maps them back and serves
+``query``/``blocks`` straight from disk — no part of the index is
+materialised in RAM beyond the pages the OS chooses to cache. This is
+the ROADMAP's ``write_index``/``open_index`` out-of-core format (à la
+FAISS ``IO_FLAG_MMAP``): the RAM wall for a *serving* index becomes
+the disk, and the same directory shipped over a shared filesystem is
+the multi-node story.
+
+Layout
+------
+``<dir>/ids.npy``
+    Live record ids, fixed-width UTF-8 bytes, insertion order.
+``<dir>/table-NNN.keys.npy``
+    The table's distinct entry keys, sorted. An entry key is the
+    fixed-width band key padded to the directory-wide key width,
+    followed by the 8-byte big-endian *biased* suffix code (bias
+    2**63, so byte order equals numeric order): OR-gate suffixes are
+    their non-negative semhash bit index; scalar suffixes (the AND
+    family's shared ``"all"``, and the no-gate marker) get negative
+    codes by first occurrence, recorded in the manifest.
+``<dir>/table-NNN.offsets.npy`` / ``.members.npy`` / ``.emit.npy``
+    CSR offsets into ``members`` (rows into ``ids``, insertion order
+    within a bucket) and the bucket emission permutation (first
+    occurrence), so ``blocks()`` replays the in-memory emission order
+    byte for byte.
+``<dir>/INDEX.json``
+    Manifest: format version, table count, widths, per-table scalar
+    code maps, member file sizes. Written last — its presence marks
+    the index complete, so a crash mid-``write_index`` (the
+    ``index.write`` fault point) leaves a directory ``open_index``
+    rejects instead of a silently partial index.
+
+Every ``.npy`` segment carries the PR 8 magic+CRC32+length footer
+(:func:`~repro.utils.parallel.append_slab_footer`), validated once at
+open; ``np.load`` ignores the trailing bytes, so the segments stay
+plain ``.npy`` files any tool can read.
+
+A bucket lookup is one ``np.searchsorted`` binary search per probed
+(band key, suffix) against the sorted key run — O(log buckets) page
+touches per table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DurabilityError
+from repro.lsh.index import BandedLSHIndex, GateFn
+from repro.store.checkpoint import sweep_orphan_tmp, tmp_name
+from repro.utils import faults
+from repro.utils.parallel import append_slab_footer, validate_slab_footer
+
+#: Manifest file name; written last, so presence == complete index.
+MANIFEST_NAME = "INDEX.json"
+
+#: Manifest format version.
+FORMAT_VERSION = 1
+
+#: Manifest key of the no-gate scalar suffix.
+NO_GATE_NAME = "__no_gate__"
+
+#: Added to suffix codes so their big-endian bytes sort numerically.
+_SUFFIX_BIAS = 1 << 63
+
+_SUFFIX_BYTES = 8
+
+
+def _suffix_bytes_array(codes: np.ndarray) -> np.ndarray:
+    """(n, 8) uint8 view of biased big-endian suffix codes."""
+    # Flipping the sign bit is the two's-complement bias add without
+    # the int64 overflow.
+    flipped = codes.astype(np.int64).view(np.uint64) ^ np.uint64(
+        _SUFFIX_BIAS
+    )
+    return flipped.astype(">u8").view(np.uint8).reshape(-1, _SUFFIX_BYTES)
+
+
+def _suffix_tail(code: int) -> bytes:
+    return struct.pack(">Q", (code + _SUFFIX_BIAS) & 0xFFFFFFFFFFFFFFFF)
+
+
+def _banded(index) -> BandedLSHIndex:
+    if isinstance(index, BandedLSHIndex):
+        return index
+    inner = getattr(index, "banded_index", None)
+    if isinstance(inner, BandedLSHIndex):
+        return inner
+    raise ConfigurationError(
+        f"cannot persist {type(index).__name__}: write_index takes a "
+        "BandedLSHIndex or an online index exposing one (LSH / SA-LSH)"
+    )
+
+
+def _table_file(table: int, kind: str) -> str:
+    return f"table-{table:03d}.{kind}.npy"
+
+
+def _write_segment(directory: Path, name: str, array: np.ndarray) -> int:
+    path = directory / name
+    np.save(path, array, allow_pickle=False)
+    append_slab_footer(os.fspath(path))
+    with open(path, "rb") as handle:
+        os.fsync(handle.fileno())
+    return os.path.getsize(path)
+
+
+def write_index(
+    path: str | os.PathLike,
+    index,
+    *,
+    metadata: dict | None = None,
+) -> None:
+    """Persist a banded index as an mmappable directory at ``path``.
+
+    The directory is built under a ``.tmp-<pid>`` name and renamed
+    into place once complete (manifest last), so a crash mid-write —
+    including the injected ``index.write`` kill −9 — never leaves a
+    directory that :func:`open_index` would trust. Orphaned tmp
+    directories from dead writers are swept on the next write to the
+    same parent. ``path`` must not already exist (version directories,
+    don't overwrite).
+
+    ``metadata`` is stored verbatim in the manifest (blocker
+    parameters, corpus name — whatever the caller wants to find again).
+    """
+    target = Path(path)
+    if target.exists():
+        raise DurabilityError(
+            f"index path {target} already exists; write to a fresh "
+            "directory", path=str(target),
+        )
+    banded = _banded(index)
+    live_ids, tables = banded.export_entries()
+    ids_list = [rid.encode("utf-8") for rid in live_ids.tolist()]
+    id_width = max((len(b) for b in ids_list), default=1) or 1
+    key_width = max(
+        (
+            np.asarray(keys).dtype.itemsize
+            for segments in tables
+            for _, keys, _ in segments
+        ),
+        default=1,
+    )
+
+    parent = target.parent
+    parent.mkdir(parents=True, exist_ok=True)
+    sweep_orphan_tmp(parent)
+    tmp_dir = parent / tmp_name(target.name)
+    tmp_dir.mkdir()
+    try:
+        files: dict[str, int] = {}
+        files["ids.npy"] = _write_segment(
+            tmp_dir, "ids.npy", np.array(ids_list, dtype=f"S{id_width}")
+        )
+        scalars: list[list[list]] = []
+        for table, segments in enumerate(tables):
+            scalar_codes: dict[str, int] = {}
+            entry_width = key_width + _SUFFIX_BYTES
+            parts_keys: list[np.ndarray] = []
+            parts_rows: list[np.ndarray] = []
+            for rows, keys, suffixes in segments:
+                keys = np.asarray(keys).astype(f"S{key_width}")
+                if isinstance(suffixes, np.ndarray):
+                    codes = suffixes.astype(np.int64, copy=False)
+                    if codes.size and int(codes.min()) < 0:
+                        raise ConfigurationError(
+                            "per-entry gate suffixes must be non-negative "
+                            "bit indices"
+                        )
+                else:
+                    name = NO_GATE_NAME if suffixes is None else suffixes
+                    if not isinstance(name, str):
+                        raise ConfigurationError(
+                            f"scalar gate suffix {suffixes!r} is not "
+                            "persistable; only string suffixes (the AND "
+                            "family) are supported on disk"
+                        )
+                    code = scalar_codes.setdefault(
+                        name, -1 - len(scalar_codes)
+                    )
+                    codes = np.full(rows.size, code, dtype=np.int64)
+                key_u8 = keys.view(np.uint8).reshape(-1, key_width)
+                combined_u8 = np.concatenate(
+                    [key_u8, _suffix_bytes_array(codes)], axis=1
+                )
+                parts_keys.append(
+                    np.ascontiguousarray(combined_u8)
+                    .reshape(-1)
+                    .view(f"S{entry_width}")
+                )
+                parts_rows.append(rows.astype(np.int64, copy=False))
+            if parts_keys:
+                entry_keys = np.concatenate(parts_keys)
+                entry_rows = np.concatenate(parts_rows)
+            else:
+                entry_keys = np.empty(0, dtype=f"S{entry_width}")
+                entry_rows = np.empty(0, dtype=np.int64)
+            order = np.argsort(entry_keys, kind="stable")
+            ordered_keys = entry_keys[order]
+            if ordered_keys.size:
+                boundaries = (
+                    np.flatnonzero(ordered_keys[1:] != ordered_keys[:-1]) + 1
+                )
+                starts = np.concatenate([[0], boundaries]).astype(np.int64)
+                offsets = np.concatenate(
+                    [starts, [ordered_keys.size]]
+                ).astype(np.int64)
+                unique_keys = ordered_keys[starts]
+                emit = np.argsort(order[starts], kind="stable").astype(
+                    np.int64
+                )
+            else:
+                offsets = np.zeros(1, dtype=np.int64)
+                unique_keys = ordered_keys
+                emit = np.empty(0, dtype=np.int64)
+            files[_table_file(table, "keys")] = _write_segment(
+                tmp_dir, _table_file(table, "keys"), unique_keys
+            )
+            files[_table_file(table, "offsets")] = _write_segment(
+                tmp_dir, _table_file(table, "offsets"), offsets
+            )
+            files[_table_file(table, "members")] = _write_segment(
+                tmp_dir, _table_file(table, "members"), entry_rows[order]
+            )
+            files[_table_file(table, "emit")] = _write_segment(
+                tmp_dir, _table_file(table, "emit"), emit
+            )
+            scalars.append(
+                [[name, code] for name, code in scalar_codes.items()]
+            )
+            faults.maybe_crash("index.write")
+        manifest = {
+            "format": FORMAT_VERSION,
+            "num_tables": banded.num_tables,
+            "num_records": len(ids_list),
+            "key_bytes": int(key_width),
+            "id_bytes": int(id_width),
+            "scalars": scalars,
+            "files": files,
+            "metadata": metadata or {},
+        }
+        manifest_path = tmp_dir / MANIFEST_NAME
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, separators=(",", ":"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        dir_fd = os.open(tmp_dir, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+        os.rename(tmp_dir, target)
+    except BaseException:
+        shutil.rmtree(tmp_dir, ignore_errors=True)
+        raise
+    parent_fd = os.open(parent, os.O_RDONLY)
+    try:
+        os.fsync(parent_fd)
+    finally:
+        os.close(parent_fd)
+
+
+class DiskBandIndex:
+    """A read-only banded index served from memory-mapped segments.
+
+    Obtained from :func:`open_index`. Queries mirror
+    :meth:`~repro.lsh.index.BandedLSHIndex.query_keys` (table-major,
+    bucket-insertion-order, deduplicated) and :meth:`blocks` replays
+    the in-memory first-occurrence emission order, so results are
+    byte-identical to the index that was persisted.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        manifest: dict,
+        ids: np.ndarray,
+        tables: list[dict],
+    ) -> None:
+        self.path = path
+        self.metadata = manifest.get("metadata", {})
+        self.num_tables = manifest["num_tables"]
+        self._key_width = manifest["key_bytes"]
+        self._ids = ids
+        self._tables = tables
+
+    @property
+    def num_records(self) -> int:
+        return int(self._ids.shape[0])
+
+    def _record_id(self, row: int) -> str:
+        return self._ids[row].decode("utf-8")
+
+    def _bucket_rows(self, table: dict, entry_key: bytes) -> np.ndarray:
+        keys = table["keys"]
+        if keys.size == 0:
+            return np.empty(0, dtype=np.int64)
+        probe = np.array(entry_key, dtype=keys.dtype)
+        position = int(np.searchsorted(keys, probe))
+        if position >= keys.size or keys[position] != probe:
+            return np.empty(0, dtype=np.int64)
+        offsets = table["offsets"]
+        return table["members"][offsets[position]:offsets[position + 1]]
+
+    def query_keys(
+        self,
+        keys,
+        gate: "GateFn | None" = None,
+        *,
+        record_id: str | None = None,
+    ) -> list[str]:
+        """Record ids sharing at least one bucket with these band keys.
+
+        Same contract as the in-memory
+        :meth:`~repro.lsh.index.BandedLSHIndex.query_keys`; each probed
+        (band key, suffix) costs one binary search over the table's
+        sorted key run.
+        """
+        if len(keys) != self.num_tables:
+            raise ValueError(
+                f"expected {self.num_tables} band keys, got {len(keys)}"
+            )
+        seen: set[str] = set()
+        found: list[str] = []
+        for table_index, key in enumerate(keys):
+            table = self._tables[table_index]
+            padded = bytes(key).ljust(self._key_width, b"\0")
+            if gate is None:
+                suffixes = (None,)
+            else:
+                suffixes = gate(table_index, record_id or "")
+            for suffix in suffixes:
+                if isinstance(suffix, (int, np.integer)):
+                    code = int(suffix)
+                else:
+                    name = NO_GATE_NAME if suffix is None else suffix
+                    code = table["scalars"].get(name)
+                    if code is None:
+                        continue  # no entry of this family in the table
+                rows = self._bucket_rows(table, padded + _suffix_tail(code))
+                for row in rows.tolist():
+                    member = self._record_id(row)
+                    if member not in seen and member != record_id:
+                        seen.add(member)
+                        found.append(member)
+        return found
+
+    def query(self, record, blocker, *, encoder=None) -> list[str]:
+        """Candidates for a probe record, straight from disk.
+
+        ``blocker`` supplies the band-key pipeline the index was built
+        with (an :class:`~repro.core.lsh_blocker.LSHBlocker` or
+        :class:`~repro.core.salsh_blocker.SALSHBlocker`); SA-LSH
+        queries additionally need the frozen ``encoder`` that gated
+        the persisted entries. A record the frozen semantic function
+        cannot interpret yields no candidates, as in the online path.
+        """
+        from repro.lsh.bands import record_band_keys
+
+        signature = blocker.hasher.signature(
+            blocker.shingler.shingle_ids(record)
+        )
+        keys = record_band_keys(signature, blocker.k, blocker.l)
+        gate = None
+        if encoder is not None:
+            from repro.errors import SemanticFunctionError
+
+            try:
+                semhash = encoder.encode(record)
+            except SemanticFunctionError:
+                return []
+            gates = blocker._gates(encoder.num_bits)
+
+            def gate(table: int, _record_id: str):
+                return gates.gate_suffixes(table, semhash)
+
+        return self.query_keys(keys, gate, record_id=record.record_id)
+
+    def blocks(self, *, min_size: int = 2) -> tuple[tuple[str, ...], ...]:
+        """All buckets with at least ``min_size`` members.
+
+        First-occurrence emission order with members in insertion
+        order — byte-identical to the persisted index's ``blocks()``.
+        """
+        found: list[tuple[str, ...]] = []
+        decode = self._record_id
+        for table in self._tables:
+            offsets = table["offsets"]
+            sizes = np.diff(offsets)
+            members = table["members"]
+            for bucket in table["emit"].tolist():
+                if sizes[bucket] < min_size:
+                    continue
+                rows = members[offsets[bucket]:offsets[bucket + 1]]
+                found.append(tuple(decode(row) for row in rows.tolist()))
+        return tuple(found)
+
+
+def open_index(path: str | os.PathLike) -> DiskBandIndex:
+    """Memory-map a persisted index for serving.
+
+    Validates the manifest and every segment's integrity footer, then
+    attaches the segments as read-only memory maps. A directory with
+    no manifest — a crashed ``write_index`` — or a segment failing its
+    footer raises a typed error instead of serving garbage.
+    """
+    directory = Path(path)
+    manifest_path = directory / MANIFEST_NAME
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise DurabilityError(
+            f"{directory} holds no complete index (manifest unreadable: "
+            f"{exc}); was write_index interrupted?", path=str(directory),
+        ) from exc
+    if manifest.get("format") != FORMAT_VERSION:
+        raise DurabilityError(
+            f"index {directory} has unsupported format "
+            f"{manifest.get('format')!r}", path=str(directory),
+        )
+    for name, expected_size in manifest["files"].items():
+        segment = directory / name
+        if (
+            not segment.is_file()
+            or os.path.getsize(segment) != expected_size
+        ):
+            raise DurabilityError(
+                f"index segment {segment} is missing or resized",
+                path=str(segment),
+            )
+        validate_slab_footer(os.fspath(segment))
+    ids = np.load(directory / "ids.npy", mmap_mode="r")
+    tables: list[dict] = []
+    for table in range(manifest["num_tables"]):
+        tables.append({
+            "keys": np.load(
+                directory / _table_file(table, "keys"), mmap_mode="r"
+            ),
+            "offsets": np.load(
+                directory / _table_file(table, "offsets"), mmap_mode="r"
+            ),
+            "members": np.load(
+                directory / _table_file(table, "members"), mmap_mode="r"
+            ),
+            "emit": np.load(
+                directory / _table_file(table, "emit"), mmap_mode="r"
+            ),
+            "scalars": dict(
+                (name, code) for name, code in manifest["scalars"][table]
+            ),
+        })
+    return DiskBandIndex(directory, manifest, ids, tables)

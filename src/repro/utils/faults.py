@@ -27,6 +27,26 @@ Injection points
 ``spill.write_error``
     Consulted by :meth:`~repro.minhash.signature.GrowableSignatureSpill
     .append` before the row write; firing raises ``OSError(ENOSPC)``.
+``wal.append``
+    Consulted by :meth:`~repro.store.journal.Journal.append` per frame;
+    firing writes only the first half of the frame and then SIGKILLs
+    the process — the torn-frame crash the replay truncation must
+    survive.
+``checkpoint.rename``
+    Consulted by the checkpoint writer immediately before the atomic
+    publish rename; firing SIGKILLs the process with the snapshot still
+    under its ``*.tmp-<pid>`` name (recovery must fall back to the
+    previous checkpoint + journal).
+``index.write``
+    Consulted by :func:`~repro.store.index_file.write_index` between
+    segment files; firing SIGKILLs the process mid-write, leaving a
+    partial index directory that ``open_index`` must reject.
+
+The three ``wal.append``/``checkpoint.rename``/``index.write`` points
+are *crash* points: instead of raising they kill the process with
+SIGKILL (via :func:`kill_self`), which is what the kill−9 recovery
+harness in ``tests/test_durability.py`` drives through subprocesses
+armed with :func:`arm_from_env`.
 
 A plan's spec maps point names to *when* they fire: an ``int`` fires
 the first N consultations, an iterable fires exactly those 0-based
@@ -45,6 +65,7 @@ import contextlib
 import errno as _errno
 import os
 import random
+import signal
 import threading
 import time
 from typing import Iterator
@@ -58,7 +79,18 @@ POINTS = (
     "slab.truncate",
     "slab.enospc",
     "spill.write_error",
+    "wal.append",
+    "checkpoint.rename",
+    "index.write",
 )
+
+#: Points whose firing kills the process (SIGKILL) instead of raising.
+CRASH_POINTS = ("wal.append", "checkpoint.rename", "index.write")
+
+#: Environment variable :func:`arm_from_env` reads, e.g.
+#: ``REPRO_FAULTS="wal.append:@2"`` (fire consultation index 2) or
+#: ``REPRO_FAULTS="checkpoint.rename:1"`` (fire the first consultation).
+FAULTS_ENV = "REPRO_FAULTS"
 
 #: Seconds a ``pool.task_hang`` worker sleeps — far beyond any sane
 #: ``timeout=``, small enough that a leaked sleeper cannot outlive a
@@ -215,6 +247,64 @@ def maybe_fail(point: str, *, path: "str | None" = None) -> None:
                 handle.truncate(max(size // 2, 1))
         except OSError:  # pragma: no cover - file already gone
             pass
+
+
+def kill_self() -> None:  # pragma: no cover - the caller never returns
+    """SIGKILL the current process — the crash the durability layer
+    must survive. No atexit handlers, no buffers flushed, no cleanup:
+    exactly what the OOM killer (or a yanked power cord) does."""
+    os.kill(os.getpid(), signal.SIGKILL)
+    # SIGKILL is not deliverable to this line; guard against exotic
+    # platforms anyway so the crash point never silently continues.
+    os._exit(137)
+
+
+def maybe_crash(point: str) -> None:
+    """Consult a crash point; when armed and firing, SIGKILL the process.
+
+    Zero-cost when disarmed. Call sites that need a *partial write*
+    before dying (the torn-frame ``wal.append`` crash) consult
+    :func:`should_fire` themselves and call :func:`kill_self` after
+    arranging the wreckage.
+    """
+    plan = _active
+    if plan is None:
+        return
+    if plan.fires(point):  # pragma: no cover - dies in subprocess runs
+        kill_self()
+
+
+def arm_from_env(environ: "dict[str, str] | None" = None) -> "FaultPlan | None":
+    """Arm a plan described by ``REPRO_FAULTS``, if set.
+
+    The value is a comma-separated list of ``point:rule`` items where
+    ``rule`` is either an int (fire the first N consultations) or
+    ``@i`` (fire exactly consultation index ``i``). This is how the
+    kill−9 harness arms crash points inside a fresh subprocess — the
+    CLI entry point calls this before dispatching a command. Returns
+    the armed plan, or ``None`` when the variable is absent/empty.
+    """
+    env = os.environ if environ is None else environ
+    raw = env.get(FAULTS_ENV, "").strip()
+    if not raw:
+        return None
+    spec: dict[str, object] = {}
+    for item in raw.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        point, _, rule = item.partition(":")
+        if not rule:
+            raise ConfigurationError(
+                f"{FAULTS_ENV} item {item!r} needs a ':<rule>' part "
+                "(an int count or '@<index>')"
+            )
+        if rule.startswith("@"):
+            spec[point] = (int(rule[1:]),)
+        else:
+            spec[point] = int(rule)
+    seed = int(env.get(f"{FAULTS_ENV}_SEED", "0"))
+    return arm(FaultPlan(spec, seed=seed))
 
 
 def execute_worker_fault(fault: str) -> None:

@@ -320,23 +320,44 @@ def _validate_array_slab(path: str) -> None:
         ) from exc
 
 
+def append_slab_footer(path: str) -> None:
+    """Seal a finished file with the magic+CRC32+length footer.
+
+    CRCs straight over a mapping of the file's current bytes — no
+    full-file read-back copy — then appends the 16-byte footer. The
+    public entry point the durability layer (:mod:`repro.store`) uses
+    to give checkpoint and index segment files the same integrity
+    discipline as slab transport; validate with
+    :func:`validate_slab_footer`.
+    """
+    with open(path, "rb+") as handle:
+        with mmap.mmap(
+            handle.fileno(), 0, access=mmap.ACCESS_READ
+        ) as mapped:
+            view = memoryview(mapped)
+            try:
+                footer = _slab_footer(view)
+            finally:
+                view.release()
+        handle.seek(0, os.SEEK_END)
+        handle.write(footer)
+
+
+def validate_slab_footer(path: str) -> None:
+    """Validate a footered file in place (mmap CRC, no copy).
+
+    The public alias of the array-slab validation path; raises
+    :class:`~repro.errors.SlabTransportError` on a missing, truncated
+    or checksum-failing file.
+    """
+    _validate_array_slab(path)
+
+
 def _write_array_slab(path: str, array: np.ndarray, integrity: bool) -> None:
     faults.maybe_fail("slab.enospc", path=path)
     np.save(path, array, allow_pickle=False)
     if integrity:
-        # CRC straight over a mapping of what np.save wrote — no
-        # full-file read-back copy on the write path.
-        with open(path, "rb+") as handle:
-            with mmap.mmap(
-                handle.fileno(), 0, access=mmap.ACCESS_READ
-            ) as mapped:
-                view = memoryview(mapped)
-                try:
-                    footer = _slab_footer(view)
-                finally:
-                    view.release()
-            handle.seek(0, os.SEEK_END)
-            handle.write(footer)
+        append_slab_footer(path)
     faults.maybe_fail("slab.truncate", path=path)
 
 

@@ -1,0 +1,135 @@
+"""Subprocess driver for the kill −9 crash matrix.
+
+Run as ``python durability_driver.py <state_dir> <kind> <corpus>`` with
+``REPRO_FAULTS`` optionally arming a crash point (see
+:func:`repro.utils.faults.arm_from_env`). The driver builds a durable
+resolver over the first half of the corpus, then applies a fixed op
+schedule — :func:`plan` — printing a flushed ``ACK <i>`` line after
+each *applied* operation. The parent test recomputes the same schedule,
+counts the ACK lines the killed process got out, and asserts the
+recovered resolver equals a from-scratch rebuild of exactly the
+acknowledged prefix.
+
+The module doubles as a library: the test imports :func:`load_corpus`,
+:func:`make_blocker` and :func:`plan` so driver and oracle can never
+drift apart.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import (
+    LSHBlocker,
+    LSHForestBlocker,
+    MultiProbeLSHBlocker,
+    SALSHBlocker,
+)
+from repro.datasets import (
+    CoraLikeGenerator,
+    fig1_dataset,
+    fig1_semantic_function,
+)
+from repro.er import Resolver
+from repro.semantic import PatternSemanticFunction, cora_patterns
+from repro.taxonomy.builders import bibliographic_tree
+from repro.utils import faults
+
+#: Per-corpus blocker parameters (mirrors test_incremental_index).
+PARAMS = {
+    "fig1": dict(attrs=("title", "authors"), q=3, k=2, l=3, seed=1),
+    "cora": dict(attrs=("authors", "title"), q=3, k=3, l=6, seed=3),
+}
+
+
+def load_corpus(name: str) -> list:
+    if name == "fig1":
+        return list(fig1_dataset())
+    if name == "cora":
+        return list(
+            CoraLikeGenerator(
+                num_records=40, num_entities=8, seed=5
+            ).generate()
+        )
+    raise ValueError(f"unknown corpus {name!r}")
+
+
+def make_blocker(kind: str, corpus: str):
+    params = PARAMS[corpus]
+    base = dict(
+        q=params["q"], k=params["k"], l=params["l"], seed=params["seed"]
+    )
+    attrs = params["attrs"]
+    if kind == "lsh":
+        return LSHBlocker(attrs, **base)
+    if kind == "salsh":
+        function = (
+            fig1_semantic_function()
+            if corpus == "fig1"
+            else PatternSemanticFunction(
+                bibliographic_tree(), cora_patterns()
+            )
+        )
+        return SALSHBlocker(
+            attrs,
+            semantic_function=function,
+            w="all" if corpus == "fig1" else 2,
+            mode="or",
+            **base,
+        )
+    if kind == "mplsh":
+        return MultiProbeLSHBlocker(attrs, **base)
+    if kind == "forest":
+        return LSHForestBlocker(attrs, **base)
+    raise ValueError(f"unknown blocker kind {kind!r}")
+
+
+def plan(records: list) -> tuple[list, list]:
+    """``(seed_records, ops)`` — the fixed schedule both sides replay.
+
+    Ops are ``("add", record)``, ``("remove", record_id)`` and
+    ``("save", None)`` tuples; saves checkpoint mid-run so the crash
+    matrix exercises recovery that combines a non-initial checkpoint
+    with a journal tail.
+    """
+    half = len(records) // 2
+    seed, rest = records[:half], records[half:]
+    ops: list = []
+    for position, record in enumerate(rest):
+        ops.append(("add", record))
+        if position == 1:
+            ops.append(("remove", seed[0].record_id))
+        if position == 2:
+            ops.append(("save", None))
+    ops.append(("remove", rest[0].record_id))
+    return seed, ops
+
+
+def apply_op(resolver: Resolver, op: str, arg) -> None:
+    if op == "add":
+        resolver.add(arg)
+    elif op == "remove":
+        resolver.remove(arg)
+    elif op == "save":
+        resolver.save()
+    else:
+        raise ValueError(f"unknown op {op!r}")
+
+
+def main(argv: list[str]) -> int:
+    state_dir, kind, corpus = argv
+    faults.arm_from_env()
+    records = load_corpus(corpus)
+    seed, ops = plan(records)
+    resolver = Resolver(make_blocker(kind, corpus), seed, state_dir=state_dir)
+    print("READY", flush=True)
+    for index, (op, arg) in enumerate(ops):
+        apply_op(resolver, op, arg)
+        print(f"ACK {index}", flush=True)
+    resolver.close()
+    print("DONE", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
