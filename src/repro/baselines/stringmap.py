@@ -116,13 +116,79 @@ class StringMapEmbedder:
         return (d_sa_sq + d_ab**2 - d_sb_sq) / (2.0 * d_ab)
 
     def transform(self, s: str) -> np.ndarray:
-        """Embed one string (requires :meth:`fit`)."""
+        """Embed one string (requires :meth:`fit`).
+
+        The per-string reference path; :meth:`transform_many` is the
+        batch engine and is value-identical.
+        """
         if not self._pivots:
             raise ConfigurationError("StringMapEmbedder.transform before fit")
         point = np.zeros(self.dim)
         for axis, (pivot_a, pivot_b, d_ab) in enumerate(self._pivots):
             point[axis] = self._project(s, point, axis, pivot_a, pivot_b, d_ab)
         return point
+
+    def _residual_sq_many(
+        self,
+        strings: list[str],
+        pivot: str,
+        partial: np.ndarray,
+        pivot_coord: np.ndarray,
+        axis: int,
+    ) -> np.ndarray:
+        """Batch :meth:`_residual_sq` against one pivot.
+
+        Every floating-point operation replays the per-string order —
+        distances first, then one squared-difference subtraction per
+        earlier axis, then the final clip — so each element is bitwise
+        identical to the scalar path. Edit distances route through the
+        vectorized DP kernel (itself bitwise identical per pair).
+        """
+        if self.similarity_name == "edit":
+            from repro.text.levenshtein import edit_similarities
+
+            sims = edit_similarities(strings, [pivot] * len(strings))
+        else:
+            sims = np.fromiter(
+                (self._sim(s, pivot) for s in strings),
+                dtype=np.float64,
+                count=len(strings),
+            )
+        d_sq = (1.0 - sims) ** 2
+        for j in range(axis):
+            d_sq = d_sq - (partial[:, j] - pivot_coord[j]) ** 2
+        return np.maximum(d_sq, 0.0)
+
+    def transform_many(self, strings) -> np.ndarray:
+        """Embed many strings in one vectorized pass (requires fit).
+
+        Returns an (n, dim) matrix aligned with the input; each row is
+        bitwise identical to :meth:`transform` of that string. Distinct
+        strings are projected once and scattered, so corpora with
+        repeated blocking keys pay for their unique keys only.
+        """
+        if not self._pivots:
+            raise ConfigurationError("StringMapEmbedder.transform before fit")
+        strings = list(strings)
+        if not strings:
+            return np.zeros((0, self.dim))
+        uniques, inverse = np.unique(
+            np.asarray(strings, dtype=object), return_inverse=True
+        )
+        unique_list = uniques.tolist()
+        points = np.zeros((len(unique_list), self.dim))
+        for axis, (pivot_a, pivot_b, d_ab) in enumerate(self._pivots):
+            if d_ab <= 0.0:
+                continue  # the scalar path returns 0.0 for this axis
+            ca, cb = self._pivot_coords[axis]
+            d_sa_sq = self._residual_sq_many(
+                unique_list, pivot_a, points, ca, axis
+            )
+            d_sb_sq = self._residual_sq_many(
+                unique_list, pivot_b, points, cb, axis
+            )
+            points[:, axis] = (d_sa_sq + d_ab**2 - d_sb_sq) / (2.0 * d_ab)
+        return points[inverse]
 
 
 class _StringMapBase(KeyedBlocker):
@@ -151,13 +217,12 @@ class _StringMapBase(KeyedBlocker):
         self.seed = seed
 
     def _embed(self, dataset: Dataset):
-        keys = {
-            r.record_id: self.key(r)[: self.max_key_length] for r in dataset
-        }
+        ids = [r.record_id for r in dataset]
+        keys = [self.key(r)[: self.max_key_length] for r in dataset]
         embedder = StringMapEmbedder(self.similarity_name, self.dim, self.seed)
-        embedder.fit(list(keys.values()))
-        points = {rid: embedder.transform(key) for rid, key in keys.items()}
-        return points
+        embedder.fit(keys)
+        matrix = embedder.transform_many(keys)
+        return {rid: matrix[row] for row, rid in enumerate(ids)}
 
     def _grid_cells(self, points: dict[str, np.ndarray]):
         """Bucket records by their cell on the first GRID_DIMS axes."""

@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``)::
     python -m repro evaluate --input cora.csv --pairs pairs.csv
     python -m repro resolve --input cora.csv --pairs pairs.csv \
         --attributes authors,title
+    python -m repro link --source a.csv --target b.csv \
+        --technique lsh --attributes authors,title --out pairs.csv
     python -m repro query --input cora.csv --queries probes.csv \
         --technique lsh --attributes authors,title
     python -m repro serve-batch --input cora.csv --ops ops.csv \
@@ -15,6 +17,11 @@ Usage (after ``pip install -e .``)::
 
 ``block`` supports the library's own blockers (lsh, salsh, mplsh,
 forest) and every survey technique at its default grid setting.
+``link`` is the clean-clean counterpart of ``block``: two datasets
+(or one CSV with a ``dataset_id`` column) are blocked against each
+other and only cross-dataset candidate pairs come out; ``--resolve``
+switches to the linkage resolver mode, where the index holds the
+target corpus and every source record is resolved as a probe.
 ``query`` and ``serve-batch`` run the online resolver service — a
 blocking-first single-record query path over an incremental index —
 and therefore accept only the four online-capable techniques.
@@ -43,10 +50,12 @@ from repro.er import (
     resolve,
 )
 from repro.errors import ReproError
-from repro.evaluation import evaluate_blocks, run_blocking
+from repro.evaluation import evaluate_blocks, evaluate_linkage, run_blocking
 from repro.records import (
+    LinkedCorpus,
     Record,
     read_csv,
+    read_linked_csv,
     read_pairs_csv,
     write_csv,
     write_pairs_csv,
@@ -300,6 +309,71 @@ def cmd_resolve(args) -> int:
     return 0
 
 
+def _linked_from_args(args) -> LinkedCorpus:
+    """The :class:`LinkedCorpus` named by ``link``'s input arguments."""
+    if args.input:
+        if args.source or args.target:
+            raise ReproError(
+                "give either --input (one CSV with a dataset_id column) "
+                "or --source/--target (one CSV per side), not both"
+            )
+        return read_linked_csv(
+            args.input, source=args.source_name, target=args.target_name
+        )
+    if not (args.source and args.target):
+        raise ReproError(
+            "link needs --input or both --source and --target"
+        )
+    return LinkedCorpus(read_csv(args.source), read_csv(args.target))
+
+
+def cmd_link(args) -> int:
+    linked = _linked_from_args(args)
+    with _pool_context(args) as pool:
+        blocker = _make_blocker(args, pool=pool)
+        if args.resolve:
+            if getattr(blocker, "online", None) is None:
+                raise ReproError(
+                    f"technique {args.technique!r} has no online index; "
+                    "link --resolve support: lsh, salsh, mplsh, forest"
+                )
+            matcher = SimilarityMatcher(
+                {a: args.similarity for a in blocker.attributes},
+                match_threshold=args.match_threshold,
+                possible_threshold=args.possible_threshold,
+            )
+            resolver = Resolver.for_linkage(blocker, linked, matcher=matcher)
+            resolved = resolver.link()
+            _emit_results(resolved, args.out)
+            if args.out:
+                tiers = {t: 0 for t in ("match", "possible", "new", "error")}
+                for entity in resolved:
+                    tiers[entity.tier] += 1
+                print(
+                    f"linked {len(linked.source)} source records against "
+                    f"{len(linked.target)} target records "
+                    f"({tiers['match']} match / {tiers['possible']} "
+                    f"possible / {tiers['new']} new / {tiers['error']} "
+                    f"error) -> {args.out}"
+                )
+            return 0
+        result = blocker.block_pair(linked)
+        pairs = sorted(result.cross_pairs)
+        if args.out:
+            write_pairs_csv(pairs, args.out)
+            destination = f" -> {args.out}"
+        else:
+            destination = ""
+        print(
+            f"{result.blocker_name}: {len(pairs)} cross-dataset candidate "
+            f"pairs from |S|={len(linked.source)} x |T|={len(linked.target)} "
+            f"in {result.seconds:.2f}s{destination}"
+        )
+        if linked.num_true_matches:
+            print(f"quality vs ground truth: {evaluate_linkage(result)}")
+    return 0
+
+
 def cmd_query(args) -> int:
     corpus = read_csv(args.input)
     queries = read_csv(args.queries)
@@ -459,6 +533,40 @@ def build_parser() -> argparse.ArgumentParser:
     resolve_cmd.add_argument("--similarity", default="jaro_winkler")
     resolve_cmd.add_argument("--threshold", type=float, default=0.85)
     resolve_cmd.set_defaults(func=cmd_resolve)
+
+    link = commands.add_parser(
+        "link",
+        help="cross-dataset record linkage: block a source dataset "
+             "against a target dataset (clean-clean ER) — only pairs "
+             "spanning the two sides are emitted; --resolve instead "
+             "resolves every source record against the target index",
+    )
+    link.add_argument("--source", default=None,
+                      help="source-side CSV (with --target)")
+    link.add_argument("--target", default=None,
+                      help="target-side CSV (with --source)")
+    link.add_argument("--input", default=None,
+                      help="single CSV carrying both sides, separated by "
+                           "a dataset_id column (alternative to "
+                           "--source/--target)")
+    link.add_argument("--source-name", default=None,
+                      help="dataset_id value to pin as the source side of "
+                           "--input (default: first seen)")
+    link.add_argument("--target-name", default=None,
+                      help="dataset_id value to pin as the target side of "
+                           "--input")
+    add_blocker_arguments(link)
+    add_matcher_arguments(link)
+    link.add_argument("--resolve", action="store_true",
+                      help="index the target corpus and resolve each "
+                           "source record as a probe (linkage resolver "
+                           "mode), emitting one result row per source "
+                           "record instead of a pairs CSV")
+    link.add_argument("--out", default=None,
+                      help="pairs CSV (or, with --resolve, result CSV; "
+                           "default: summary only, or stdout with "
+                           "--resolve)")
+    link.set_defaults(func=cmd_link)
 
     query = commands.add_parser(
         "query",

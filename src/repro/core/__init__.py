@@ -1,6 +1,12 @@
 """The paper's primary contribution: LSH and semantic-aware LSH blocking."""
 
-from repro.core.base import Blocker, BlockingResult, OnlineIndex
+from repro.core.base import (
+    BipartiteBlockingResult,
+    Blocker,
+    BlockingResult,
+    OnlineIndex,
+    as_bipartite,
+)
 from repro.core.lsh_blocker import LSHBlocker, OnlineLSHIndex
 from repro.core.salsh_blocker import OnlineSALSHIndex, SALSHBlocker
 from repro.core.lsh_variants import (
@@ -33,6 +39,8 @@ from repro.core.robustness import (
 __all__ = [
     "Blocker",
     "BlockingResult",
+    "BipartiteBlockingResult",
+    "as_bipartite",
     "OnlineIndex",
     "OnlineLSHIndex",
     "OnlineSALSHIndex",

@@ -10,14 +10,17 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from repro.records.dataset import Dataset
+from repro.errors import DatasetError
+from repro.records.dataset import Dataset, LinkedCorpus
 from repro.records.ground_truth import Pair, sorted_pair
 from repro.records.record import Record
 from repro.records.pairs import (
     decode_pair_keys,
     encode_pair_keys,
+    enumerate_csr_cross_pairs,
     enumerate_csr_pairs,
     pairs_from_keys,
+    unique_bipartite_keys,
     unique_pair_keys,
 )
 
@@ -185,9 +188,141 @@ class BlockingResult:
         )
 
 
+@dataclass(frozen=True)
+class BipartiteBlockingResult(BlockingResult):
+    """Blocks over a :class:`LinkedCorpus` union, read as cross pairs.
+
+    The blocks themselves are ordinary union-corpus blocks (so every
+    dedup-side consumer — meta-blocking, the equivalence suites — still
+    works on them); the linkage view carves the bipartite candidate set
+    out of each block with cross-side enumeration: a pair is a
+    candidate iff a source member and a target member co-occur in a
+    block. Within-side pairs are never emitted.
+    """
+
+    linked: LinkedCorpus | None = None
+
+    def _require_linked(self) -> LinkedCorpus:
+        if self.linked is None:
+            raise DatasetError(
+                "BipartiteBlockingResult has no attached LinkedCorpus"
+            )
+        return self.linked
+
+    @cached_property
+    def _source_mask_local(self) -> np.ndarray:
+        """True at local-vocabulary positions that are source records."""
+        linked = self._require_linked()
+        ids = self.local_arrays.ids
+        return np.fromiter(
+            (rid in linked.source_id_set for rid in ids),
+            dtype=bool,
+            count=len(ids),
+        )
+
+    @cached_property
+    def cross_pair_keys(self) -> np.ndarray:
+        """Γ as sorted bipartite ``uint64`` keys over the linked codec.
+
+        High word: position in ``linked.source``; low word: position in
+        ``linked.target`` — directly intersectable with
+        ``linked.true_match_keys``.
+        """
+        linked = self._require_linked()
+        arrays = self.local_arrays
+        mask = self._source_mask_local
+        if not arrays.ids:
+            return np.empty(0, dtype=np.uint64)
+        positions = np.empty(len(arrays.ids), dtype=np.int64)
+        src_local = np.flatnonzero(mask)
+        tgt_local = np.flatnonzero(~mask)
+        ids = arrays.ids
+        if src_local.size:
+            positions[src_local] = linked.source.encode_ids(
+                [ids[i] for i in src_local.tolist()]
+            )
+        if tgt_local.size:
+            positions[tgt_local] = linked.target.encode_ids(
+                [ids[i] for i in tgt_local.tolist()]
+            )
+        left, right = enumerate_csr_cross_pairs(
+            arrays.offsets, arrays.indices, mask
+        )
+        return unique_bipartite_keys(positions[left], positions[right])
+
+    @cached_property
+    def cross_pairs(self) -> frozenset[Pair]:
+        """Γ as distinct ``(source_id, target_id)`` tuples."""
+        linked = self._require_linked()
+        return frozenset(linked.pairs_from_keys(self.cross_pair_keys))
+
+    def cross_pairs_legacy(self) -> frozenset[Pair]:
+        """Γ via per-block Python loops (the reference implementation)."""
+        linked = self._require_linked()
+        source_ids = linked.source_id_set
+        pairs: set[Pair] = set()
+        for block in self.blocks:
+            members = set(block)
+            src = [rid for rid in members if rid in source_ids]
+            tgt = [rid for rid in members if rid not in source_ids]
+            for s in src:
+                for t in tgt:
+                    pairs.add((s, t))
+        return frozenset(pairs)
+
+    @property
+    def num_cross_multiset_comparisons(self) -> int:
+        """|Γm| of the cross space: Σ per block n_source × n_target."""
+        source_ids = self._require_linked().source_id_set
+        total = 0
+        for block in self.blocks:
+            n_src = sum(1 for rid in block if rid in source_ids)
+            total += n_src * (len(block) - n_src)
+        return total
+
+    def with_timing(self, seconds: float) -> "BipartiteBlockingResult":
+        """Copy of the result annotated with a wall-clock time."""
+        return BipartiteBlockingResult(
+            blocker_name=self.blocker_name,
+            blocks=self.blocks,
+            seconds=seconds,
+            metadata=self.metadata,
+            linked=self.linked,
+        )
+
+
+def as_bipartite(
+    result: BlockingResult, linked: LinkedCorpus
+) -> BipartiteBlockingResult:
+    """Re-type a union-corpus result as a bipartite result."""
+    return BipartiteBlockingResult(
+        blocker_name=result.blocker_name,
+        blocks=result.blocks,
+        seconds=result.seconds,
+        metadata=result.metadata,
+        linked=linked,
+    )
+
+
 def make_blocks(groups: Sequence[Sequence[str]]) -> tuple[Block, ...]:
     """Normalise raw groups: drop singletons, freeze to tuples."""
     return tuple(tuple(g) for g in groups if len(g) >= 2)
+
+
+def _coerce_linked(
+    source: Dataset | LinkedCorpus, target: Dataset | None
+) -> LinkedCorpus:
+    """Accept either a prebuilt :class:`LinkedCorpus` or two datasets."""
+    if isinstance(source, LinkedCorpus):
+        if target is not None:
+            raise DatasetError(
+                "block_pair got a LinkedCorpus and a target dataset; "
+                "pass one or the other"
+            )
+        return source
+    if target is None:
+        raise DatasetError("block_pair needs a target dataset")
+    return LinkedCorpus(source, target)
 
 
 class Blocker(ABC):
@@ -199,6 +334,24 @@ class Blocker(ABC):
     @abstractmethod
     def block(self, dataset: Dataset) -> BlockingResult:
         """Group the dataset's records into candidate blocks."""
+
+    def block_pair(
+        self,
+        source: Dataset | LinkedCorpus,
+        target: Dataset | None = None,
+    ) -> BipartiteBlockingResult:
+        """Clean-clean linkage: block source against target.
+
+        The base implementation blocks the union corpus and re-types
+        the result; the candidate set is the cross-side subset of each
+        block's pairs (:attr:`BipartiteBlockingResult.cross_pair_keys`),
+        so every blocker gets linkage for free. The four LSH blockers
+        override this with an online-index streaming path — index the
+        target, stream the source through the same incremental cursors
+        the resolver uses — that produces identical pair sets.
+        """
+        linked = _coerce_linked(source, target)
+        return as_bipartite(self.block(linked.union), linked)
 
     def describe(self) -> str:
         """One-line parameter description for reports."""

@@ -35,7 +35,14 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.core.base import Blocker, BlockingResult, OnlineIndex, make_blocks
+from repro.core.base import (
+    BipartiteBlockingResult,
+    Blocker,
+    BlockingResult,
+    OnlineIndex,
+    _coerce_linked,
+    make_blocks,
+)
 from repro.errors import ConfigurationError
 from repro.lsh.bands import record_band_keys, split_bands, split_bands_matrix
 from repro.lsh.index import BandedLSHIndex
@@ -294,6 +301,44 @@ class LSHBlocker(Blocker):
     ) -> OnlineLSHIndex:
         """A mutable :class:`OnlineLSHIndex` seeded with ``records``."""
         return OnlineLSHIndex(self, records, signatures_out=signatures_out)
+
+    def block_pair(self, source, target=None) -> BipartiteBlockingResult:
+        """Clean-clean linkage on the online streaming path.
+
+        The target side is indexed first (exactly the resolver shape —
+        the index holds the target), then the source records stream
+        through the same incremental cursors as a second slab. By the
+        incremental≡rebuild contract the resulting blocks equal a batch
+        ``block()`` over the union in target-first insertion order, and
+        because signatures and bucket membership are insertion-order
+        independent the *cross pair set* equals the filtered
+        ``block(S∪T)`` oracle. The ``processes=``/``pool=`` runtimes
+        flow through unchanged, so results stay byte-identical across
+        serial/sharded/pooled.
+        """
+        linked = _coerce_linked(source, target)
+        start = time.perf_counter()
+        index = self.online(linked.target.records)
+        index.add_many(linked.source.records)
+        blocks = index.blocks()
+        elapsed = time.perf_counter() - start
+        return BipartiteBlockingResult(
+            blocker_name=self.name,
+            blocks=blocks,
+            seconds=elapsed,
+            metadata={
+                "k": self.k,
+                "l": self.l,
+                "q": self.q,
+                "workers": self.workers,
+                "processes": self.processes,
+                "pooled": self.pool is not None,
+                "engine": "linkage-online",
+                "num_source": len(linked.source),
+                "num_target": len(linked.target),
+            },
+            linked=linked,
+        )
 
     def block_stream(
         self,

@@ -22,7 +22,14 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.core.base import Blocker, BlockingResult, OnlineIndex, make_blocks
+from repro.core.base import (
+    BipartiteBlockingResult,
+    Blocker,
+    BlockingResult,
+    OnlineIndex,
+    _coerce_linked,
+    make_blocks,
+)
 from repro.errors import ConfigurationError
 from repro.lsh.bands import split_bands_matrix
 from repro.lsh.index import grouped_indices
@@ -317,6 +324,38 @@ class MultiProbeLSHBlocker(Blocker):
         """A mutable :class:`OnlineMultiProbeIndex` seeded with ``records``."""
         return OnlineMultiProbeIndex(self, records)
 
+    def block_pair(self, source, target=None) -> BipartiteBlockingResult:
+        """Clean-clean linkage on the online streaming path.
+
+        Index the target, stream the source as a second slab, then emit
+        the incremental index's blocks — the batch probe grouping over
+        the union survivors. Probing alone would miss cross pairs that
+        only co-occur through a *third* record's exact bucket (two
+        probes of one key see each other only inside that bucket's
+        group), so linkage runs the full union grouping, whose pair set
+        is insertion-order independent and equals the filtered
+        ``block(S∪T)`` oracle.
+        """
+        linked = _coerce_linked(source, target)
+        start = time.perf_counter()
+        index = self.online(linked.target.records)
+        index.add_many(linked.source.records)
+        blocks = index.blocks()
+        elapsed = time.perf_counter() - start
+        return BipartiteBlockingResult(
+            blocker_name=self.name,
+            blocks=blocks,
+            seconds=elapsed,
+            metadata={
+                "k": self.k, "l": self.l, "q": self.q,
+                "num_probes": self.num_probes,
+                "engine": "linkage-online",
+                "num_source": len(linked.source),
+                "num_target": len(linked.target),
+            },
+            linked=linked,
+        )
+
 
 class LSHForestBlocker(Blocker):
     """LSH-forest-style blocking with adaptive band-prefix depth.
@@ -450,6 +489,38 @@ class LSHForestBlocker(Blocker):
     def online(self, records: Iterable[Record] = ()) -> "OnlineForestIndex":
         """A mutable :class:`OnlineForestIndex` seeded with ``records``."""
         return OnlineForestIndex(self, records)
+
+    def block_pair(self, source, target=None) -> BipartiteBlockingResult:
+        """Clean-clean linkage on the online streaming path.
+
+        Index the target, stream the source as a second slab, then emit
+        the incremental index's blocks — the adaptive prefix descent
+        over the union. The tree's split depths depend on *union*
+        bucket occupancy (a target-only descent would split differently
+        once source records arrive), so linkage reruns the batch
+        grouping over the survivors; the resulting pair set is
+        insertion-order independent and equals the filtered
+        ``block(S∪T)`` oracle.
+        """
+        linked = _coerce_linked(source, target)
+        start = time.perf_counter()
+        index = self.online(linked.target.records)
+        index.add_many(linked.source.records)
+        blocks = index.blocks()
+        elapsed = time.perf_counter() - start
+        return BipartiteBlockingResult(
+            blocker_name=self.name,
+            blocks=blocks,
+            seconds=elapsed,
+            metadata={
+                "k": self.k, "l": self.l, "q": self.q,
+                "max_block_size": self.max_block_size,
+                "engine": "linkage-online",
+                "num_source": len(linked.source),
+                "num_target": len(linked.target),
+            },
+            linked=linked,
+        )
 
 
 class _VariantOnlineBase(OnlineIndex):

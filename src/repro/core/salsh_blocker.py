@@ -15,7 +15,15 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.core.base import Blocker, BlockingResult, OnlineIndex, make_blocks
+from repro.core.base import (
+    BipartiteBlockingResult,
+    Blocker,
+    BlockingResult,
+    OnlineIndex,
+    _coerce_linked,
+    as_bipartite,
+    make_blocks,
+)
 from repro.core.lsh_blocker import stream_slab_signatures
 from repro.errors import ConfigurationError, SemanticFunctionError
 from repro.lsh.bands import record_band_keys, split_bands, split_bands_matrix
@@ -458,6 +466,53 @@ class SALSHBlocker(Blocker):
         """
         return OnlineSALSHIndex(
             self, records, encoder=encoder, signatures_out=signatures_out
+        )
+
+    def block_pair(self, source, target=None) -> BipartiteBlockingResult:
+        """Clean-clean linkage on the online streaming path.
+
+        The semhash encoder is frozen over the *union* of both sides —
+        exactly what the batch oracle ``block(S∪T)`` derives, and
+        order-independent (the bit set is a union of ζ concept sets) —
+        then the target is indexed and the source streams through the
+        same online cursors. Blocks therefore equal a batch block over
+        the union in target-first insertion order, the cross pair set
+        equals the filtered oracle, and the ``processes=``/``pool=``
+        runtimes keep results byte-identical across serial/sharded/
+        pooled.
+        """
+        linked = _coerce_linked(source, target)
+        start = time.perf_counter()
+        union = linked.union
+        if not len(union):
+            return as_bipartite(self._empty_result(start), linked)
+        sf_start = time.perf_counter()
+        encoder = SemhashEncoder(self.semantic_function, union)
+        sf_seconds = time.perf_counter() - sf_start
+        index = self.online(linked.target.records, encoder=encoder)
+        index.add_many(linked.source.records)
+        blocks = index.blocks()
+        elapsed = time.perf_counter() - start
+        return BipartiteBlockingResult(
+            blocker_name=self.name,
+            blocks=blocks,
+            seconds=elapsed,
+            metadata={
+                "k": self.k,
+                "l": self.l,
+                "q": self.q,
+                "w": self.w,
+                "mode": self.mode,
+                "num_semantic_bits": encoder.num_bits,
+                "sf_seconds": sf_seconds,
+                "workers": self.workers,
+                "processes": self.processes,
+                "pooled": self.pool is not None,
+                "engine": "linkage-online",
+                "num_source": len(linked.source),
+                "num_target": len(linked.target),
+            },
+            linked=linked,
         )
 
     def block_stream(

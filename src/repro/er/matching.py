@@ -28,6 +28,7 @@ from repro.errors import ConfigurationError
 from repro.records.dataset import Dataset
 from repro.records.ground_truth import Pair
 from repro.records.record import Record
+from repro.text.levenshtein import edit_similarities
 from repro.text.qgrams import qgram_set
 from repro.text.similarity import StringSimilarity, get_similarity
 
@@ -91,6 +92,19 @@ def _jaccard_batch(
     return scores
 
 
+def _unique_combos(
+    codes1: np.ndarray, codes2: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Distinct (code1, code2) combinations and the scatter inverse."""
+    combos = (codes1.astype(np.uint64) << np.uint64(32)) | codes2.astype(
+        np.uint64
+    )
+    unique_combos, inverse = np.unique(combos, return_inverse=True)
+    first = (unique_combos >> np.uint64(32)).astype(np.int64)
+    second = (unique_combos & np.uint64(0xFFFFFFFF)).astype(np.int64)
+    return first, second, inverse
+
+
 def _generic_batch(
     similarity: StringSimilarity,
     uniques: Sequence[str],
@@ -98,21 +112,32 @@ def _generic_batch(
     codes2: np.ndarray,
 ) -> np.ndarray:
     """Score each distinct (value1, value2) combination once, scatter."""
-    combos = (codes1.astype(np.uint64) << np.uint64(32)) | codes2.astype(
-        np.uint64
-    )
-    unique_combos, inverse = np.unique(combos, return_inverse=True)
-    first = (unique_combos >> np.uint64(32)).astype(np.int64)
-    second = (unique_combos & np.uint64(0xFFFFFFFF)).astype(np.int64)
+    first, second, inverse = _unique_combos(codes1, codes2)
     scored = np.fromiter(
         (
             similarity(uniques[a], uniques[b])
             for a, b in zip(first.tolist(), second.tolist())
         ),
         dtype=np.float64,
-        count=unique_combos.size,
+        count=first.size,
     )
     return scored[inverse]
+
+
+def _edit_batch(
+    uniques: Sequence[str], codes1: np.ndarray, codes2: np.ndarray
+) -> np.ndarray:
+    """Edit similarities via the banded-DP batch kernel.
+
+    Like :func:`_generic_batch`, each distinct value combination is
+    scored once — but all of them go through one
+    :func:`~repro.text.levenshtein.edit_similarities` call, so the DP
+    itself is vectorized instead of one Python DP per combination.
+    """
+    first, second, inverse = _unique_combos(codes1, codes2)
+    lefts = [uniques[a] for a in first.tolist()]
+    rights = [uniques[b] for b in second.tolist()]
+    return edit_similarities(lefts, rights)[inverse]
 
 
 @dataclass(frozen=True)
@@ -207,6 +232,8 @@ class SimilarityMatcher:
                     dataset, attribute, _QGRAM_MEASURES[measure]
                 )
                 column = _jaccard_batch(bits, sizes, codes1, codes2)
+            elif measure == "edit":
+                column = _edit_batch(uniques, codes1, codes2)
             else:
                 column = _generic_batch(similarity, uniques, codes1, codes2)
             scores += self._weights[attribute] * column

@@ -42,7 +42,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.errors import ConfigurationError, DatasetError, DurabilityError
-from repro.records.dataset import RecordStore
+from repro.records.dataset import LinkedCorpus, RecordStore
 from repro.records.record import Record
 from repro.er.matching import SimilarityMatcher
 from repro.store.checkpoint import load_checkpoint, write_checkpoint
@@ -144,6 +144,8 @@ class Resolver:
         self.state_dir: Path | None = None
         self.fsync = fsync
         self._journal: Journal | None = None
+        #: Attached linkage corpus when built via :meth:`for_linkage`.
+        self.linked: "LinkedCorpus | None" = None
         if state_dir is not None:
             self.state_dir = Path(state_dir)
             self.save()  # initial checkpoint + fresh journal
@@ -153,6 +155,79 @@ class Resolver:
 
     def __contains__(self, record_id: object) -> bool:
         return record_id in self.store
+
+    @classmethod
+    def for_linkage(
+        cls,
+        blocker,
+        source,
+        target=None,
+        *,
+        matcher: SimilarityMatcher | None = None,
+        state_dir: "str | Path | None" = None,
+        fsync: str = "always",
+    ) -> "Resolver":
+        """A resolver in clean-clean linkage mode.
+
+        The index holds the *target* side and probes come from the
+        *source* — the production record-linkage shape, and exactly
+        the orientation ``block_pair`` streams. Accepts a prebuilt
+        :class:`~repro.records.dataset.LinkedCorpus` or two datasets.
+        For SA-LSH the semhash encoder is frozen over the union of both
+        sides (matching ``block_pair``), so source-only concepts still
+        carry semantic bits when probing.
+
+        The target corpus stays mutable — ``add_many``/``remove`` keep
+        serving the index — and :meth:`link` resolves the source side
+        without ever inserting it.
+        """
+        linked = (
+            source
+            if isinstance(source, LinkedCorpus)
+            else LinkedCorpus(source, target)
+        )
+        resolver = cls(blocker, (), matcher=matcher)
+        target_records = list(linked.target.records)
+        if hasattr(blocker, "semantic_function"):
+            from repro.semantic.semhash import SemhashEncoder
+
+            encoder = SemhashEncoder(
+                blocker.semantic_function, linked.union
+            )
+            resolver.index = blocker.online(
+                target_records, encoder=encoder
+            )
+        else:
+            resolver.index = blocker.online(target_records)
+        resolver.store.add_many(target_records)
+        resolver.linked = linked
+        resolver.fsync = fsync
+        if state_dir is not None:
+            resolver.state_dir = Path(state_dir)
+            resolver.save()
+        return resolver
+
+    def link(
+        self,
+        records: "Sequence[Record] | None" = None,
+        *,
+        isolate_errors: bool = True,
+    ) -> list[ResolvedEntity]:
+        """Resolve source probes against the target index.
+
+        Probes are scored, never inserted — the target corpus is
+        unchanged afterwards. With no argument, resolves every record
+        of the attached linkage corpus's source side (requires
+        :meth:`for_linkage`); an explicit batch links any records.
+        """
+        if records is None:
+            if self.linked is None:
+                raise ConfigurationError(
+                    "link() without records needs a resolver built by "
+                    "Resolver.for_linkage(...)"
+                )
+            records = list(self.linked.source.records)
+        return self.resolve_many(records, isolate_errors=isolate_errors)
 
     def add(self, record: Record) -> None:
         """Index one new record (store and index stay in lockstep)."""

@@ -1,6 +1,11 @@
 """Blocking-quality measures and experiment runners (paper §6)."""
 
-from repro.evaluation.metrics import BlockingMetrics, evaluate_blocks
+from repro.evaluation.metrics import (
+    BlockingMetrics,
+    LinkageMetrics,
+    evaluate_blocks,
+    evaluate_linkage,
+)
 from repro.evaluation.objective import ObjectiveValue, blocking_objective
 from repro.evaluation.runner import ExperimentResult, best_by, run_blocking
 from repro.evaluation.reporting import format_table
@@ -13,7 +18,9 @@ from repro.evaluation.statistics import (
 
 __all__ = [
     "BlockingMetrics",
+    "LinkageMetrics",
     "evaluate_blocks",
+    "evaluate_linkage",
     "ObjectiveValue",
     "blocking_objective",
     "ExperimentResult",

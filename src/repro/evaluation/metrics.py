@@ -18,9 +18,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.base import BlockingResult
+from repro.core.base import BipartiteBlockingResult, BlockingResult
 from repro.errors import DatasetError, EvaluationError
-from repro.records.dataset import Dataset
+from repro.records.dataset import Dataset, LinkedCorpus
 
 
 def _harmonic(a: float, b: float) -> float:
@@ -120,6 +120,118 @@ def _evaluate_legacy(result: BlockingResult, dataset: Dataset) -> BlockingMetric
         true_positives=len(candidate_pairs & true_matches),
         total_true=len(true_matches),
         num_distinct=len(candidate_pairs),
+    )
+
+
+@dataclass(frozen=True)
+class LinkageMetrics:
+    """Clean-clean measures of one bipartite blocking result.
+
+    Same definitions as :class:`BlockingMetrics` with the clean-clean
+    pair spaces: Γ is the cross-side candidate set, Ω is the |S|×|T|
+    cross product, and Ωtp is the bipartite ground truth (entities
+    labelled on both sides).
+    """
+
+    pc: float
+    pq: float
+    rr: float
+    fm: float
+    pq_star: float
+    fm_star: float
+    num_blocks: int
+    num_distinct_pairs: int
+    num_multiset_pairs: int
+    num_true_positives: int
+    max_block_size: int
+
+    def row(self) -> list[float]:
+        """The headline measures in report order (PC, PQ, RR, FM)."""
+        return [self.pc, self.pq, self.rr, self.fm]
+
+    def __str__(self) -> str:
+        return (
+            f"PC={self.pc:.4f} PQ={self.pq:.4f} RR={self.rr:.4f} "
+            f"FM={self.fm:.4f} (blocks={self.num_blocks}, "
+            f"cross pairs={self.num_distinct_pairs})"
+        )
+
+
+def evaluate_linkage(
+    result: BipartiteBlockingResult,
+    linked: LinkedCorpus | None = None,
+    *,
+    engine: str = "array",
+) -> LinkageMetrics:
+    """Score a linkage result against a bipartite ground truth.
+
+    ``linked`` defaults to the result's attached corpus. The ``array``
+    engine intersects the result's bipartite ``uint64`` cross-pair keys
+    with ``linked.true_match_keys``; ``engine="legacy"`` runs the
+    set-based reference path over ``(source_id, target_id)`` tuples.
+    Within-side pairs never enter either computation — the candidate
+    set is the cross-side enumeration by construction.
+    """
+    if linked is None:
+        if not isinstance(result, BipartiteBlockingResult):
+            raise EvaluationError(
+                "evaluate_linkage needs a BipartiteBlockingResult or an "
+                "explicit LinkedCorpus"
+            )
+        linked = result._require_linked()
+    if not isinstance(result, BipartiteBlockingResult):
+        from repro.core.base import as_bipartite
+
+        result = as_bipartite(result, linked)
+    elif result.linked is not linked:
+        from repro.core.base import as_bipartite
+
+        result = as_bipartite(result, linked)
+    if engine == "array":
+        try:
+            candidate_keys = result.cross_pair_keys
+        except DatasetError as exc:
+            raise EvaluationError(
+                f"block references unknown record: {exc}"
+            ) from None
+        truth_keys = linked.true_match_keys
+        true_positives = count_common_keys(candidate_keys, truth_keys)
+        total_true = int(truth_keys.size)
+        num_distinct = int(candidate_keys.size)
+    elif engine == "legacy":
+        union = linked.union
+        for block in result.blocks:
+            for record_id in block:
+                if record_id not in union:
+                    raise EvaluationError(
+                        f"block references unknown record {record_id!r}"
+                    )
+        candidate_pairs = result.cross_pairs_legacy()
+        true_matches = linked.true_matches
+        true_positives = len(candidate_pairs & true_matches)
+        total_true = len(true_matches)
+        num_distinct = len(candidate_pairs)
+    else:
+        raise EvaluationError(f"unknown evaluation engine {engine!r}")
+
+    total_pairs = linked.total_pairs
+    num_multiset = result.num_cross_multiset_comparisons
+    pc = true_positives / total_true if total_true else 0.0
+    pq = true_positives / num_distinct if num_distinct else 0.0
+    pq_star = true_positives / num_multiset if num_multiset else 0.0
+    rr = 1.0 - num_distinct / total_pairs if total_pairs else 0.0
+    return LinkageMetrics(
+        pc=pc,
+        pq=pq,
+        rr=rr,
+        fm=_harmonic(pc, pq),
+        pq_star=pq_star,
+        fm_star=_harmonic(pc, pq_star),
+        num_blocks=result.num_blocks,
+        num_distinct_pairs=num_distinct,
+        num_multiset_pairs=num_multiset,
+        num_true_positives=true_positives,
+        max_block_size=result.max_block_size,
     )
 
 

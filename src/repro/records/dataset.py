@@ -16,6 +16,12 @@ from repro.errors import DatasetError
 from repro.records.ground_truth import Pair, entity_clusters, true_match_pairs
 from repro.records.record import Record
 
+#: Valid values of :attr:`Dataset.role` — the dataset-role axis
+#: (DESIGN.md, "Record linkage & the dataset-role axis"). ``single`` is
+#: the dirty-ER dedup corpus; ``source``/``target`` are the two sides
+#: of a clean-clean :class:`LinkedCorpus`.
+DATASET_ROLES = ("single", "source", "target")
+
 
 class Dataset:
     """An ordered, immutable collection of records.
@@ -26,17 +32,38 @@ class Dataset:
         The records; ids must be unique.
     name:
         Optional human-readable name used in reports.
+    role:
+        The dataset's role on the linkage axis: ``single`` (dedup
+        corpus, the default), or ``source``/``target`` when the dataset
+        is one side of a :class:`LinkedCorpus`.
     """
 
-    def __init__(self, records: Iterable[Record], name: str = "dataset") -> None:
+    def __init__(
+        self,
+        records: Iterable[Record],
+        name: str = "dataset",
+        *,
+        role: str = "single",
+    ) -> None:
+        if role not in DATASET_ROLES:
+            raise DatasetError(
+                f"invalid dataset role {role!r}; expected one of "
+                f"{DATASET_ROLES}"
+            )
         self._records: tuple[Record, ...] = tuple(records)
         self.name = name
+        self.role = role
         seen: set[str] = set()
         for record in self._records:
             if record.record_id in seen:
                 raise DatasetError(f"duplicate record id {record.record_id!r}")
             seen.add(record.record_id)
         self._by_id = {r.record_id: r for r in self._records}
+
+    def with_role(self, role: str, name: str | None = None) -> "Dataset":
+        """A copy of this dataset carrying ``role`` (records shared)."""
+        copy = Dataset(self._records, name=name or self.name, role=role)
+        return copy
 
     # -- collection protocol -------------------------------------------------
 
@@ -205,6 +232,147 @@ class Dataset:
         return (
             f"Dataset(name={self.name!r}, records={len(self)}, "
             f"entities={len(self.clusters)})"
+        )
+
+
+class LinkedCorpus:
+    """Two disjoint datasets posed as a clean-clean linkage problem.
+
+    The composition carries the dataset-role axis end to end: the
+    ``source`` probes an index built over the ``target`` (the
+    production resolver shape), the comparison space is |S|×|T| cross
+    pairs only, and the ground truth is the bipartite subset of entity
+    labels that appear on *both* sides. Record ids must be disjoint
+    across the two sides so the union corpus (what the blockers
+    actually group) stays a valid :class:`Dataset`.
+
+    Parameters
+    ----------
+    source, target:
+        The two sides; roles are coerced to ``source``/``target``.
+    name:
+        Optional name used in reports (defaults to ``source~target``).
+    """
+
+    def __init__(
+        self, source: Dataset, target: Dataset, name: str | None = None
+    ) -> None:
+        if source.role != "source":
+            source = source.with_role("source")
+        if target.role != "target":
+            target = target.with_role("target")
+        overlap = sorted(
+            set(source.record_ids) & set(target.record_ids)
+        )
+        if overlap:
+            shown = ", ".join(repr(rid) for rid in overlap[:5])
+            more = f" (+{len(overlap) - 5} more)" if len(overlap) > 5 else ""
+            raise DatasetError(
+                f"linked corpus sides share record ids: {shown}{more}; "
+                "source and target id spaces must be disjoint"
+            )
+        self.source = source
+        self.target = target
+        self.name = name or f"{source.name}~{target.name}"
+
+    def __len__(self) -> int:
+        return len(self.source) + len(self.target)
+
+    @cached_property
+    def union(self) -> Dataset:
+        """Both sides as one dedup-shaped corpus, source records first.
+
+        This is what the blockers group; the bipartite pair space is
+        carved out of its blocks by cross-side enumeration.
+        """
+        return Dataset(
+            tuple(self.source.records) + tuple(self.target.records),
+            name=f"{self.name}-union",
+        )
+
+    @cached_property
+    def source_id_set(self) -> frozenset[str]:
+        return frozenset(self.source.record_ids)
+
+    def side_of(self, record_id: str) -> str:
+        """``"source"`` or ``"target"``; unknown ids raise."""
+        if record_id in self.source_id_set:
+            return "source"
+        if record_id in self.target:
+            return "target"
+        raise DatasetError(f"no record with id {record_id!r}")
+
+    @property
+    def total_pairs(self) -> int:
+        """``|Ω|`` of the clean-clean space: |S| × |T| cross pairs."""
+        return len(self.source) * len(self.target)
+
+    @cached_property
+    def true_matches(self) -> set[Pair]:
+        """``Ωtp``: (source_id, target_id) pairs sharing an entity."""
+        from repro.records.pairs import decode_pair_keys
+
+        src_ids = self.source.record_ids
+        tgt_ids = self.target.record_ids
+        lo, hi = decode_pair_keys(self.true_match_keys)
+        return {
+            (src_ids[s], tgt_ids[t])
+            for s, t in zip(lo.tolist(), hi.tolist())
+        }
+
+    @cached_property
+    def true_match_keys(self) -> np.ndarray:
+        """``Ωtp`` as sorted bipartite ``uint64`` keys.
+
+        The high word is the record's position in ``source``, the low
+        word its position in ``target`` (no min/max canonicalisation —
+        the sides are disjoint). Only entities labelled on both sides
+        contribute, each as a full cross product of its members.
+        """
+        from repro.records.pairs import unique_bipartite_keys
+
+        src_clusters = self.source.clusters
+        tgt_clusters = self.target.clusters
+        src_index = {r.record_id: i for i, r in enumerate(self.source)}
+        tgt_index = {r.record_id: i for i, r in enumerate(self.target)}
+        sources: list[int] = []
+        targets: list[int] = []
+        for entity, src_members in src_clusters.items():
+            tgt_members = tgt_clusters.get(entity)
+            if not tgt_members:
+                continue
+            for sid in src_members:
+                s = src_index[sid]
+                for tid in tgt_members:
+                    sources.append(s)
+                    targets.append(tgt_index[tid])
+        if not sources:
+            return np.empty(0, dtype=np.uint64)
+        return unique_bipartite_keys(
+            np.asarray(sources, dtype=np.int64),
+            np.asarray(targets, dtype=np.int64),
+        )
+
+    @property
+    def num_true_matches(self) -> int:
+        return int(self.true_match_keys.size)
+
+    def pairs_from_keys(self, keys: np.ndarray) -> list[Pair]:
+        """Decode bipartite keys into ``(source_id, target_id)`` pairs."""
+        from repro.records.pairs import decode_pair_keys
+
+        src_ids = self.source.record_ids
+        tgt_ids = self.target.record_ids
+        lo, hi = decode_pair_keys(keys)
+        return [
+            (src_ids[s], tgt_ids[t])
+            for s, t in zip(lo.tolist(), hi.tolist())
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LinkedCorpus(name={self.name!r}, source={len(self.source)}, "
+            f"target={len(self.target)})"
         )
 
 

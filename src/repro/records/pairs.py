@@ -109,6 +109,93 @@ def enumerate_csr_pairs(
     return left, right
 
 
+def encode_bipartite_keys(
+    source: np.ndarray, target: np.ndarray
+) -> np.ndarray:
+    """``uint64`` keys of cross-dataset pairs (source in the high word).
+
+    Unlike :func:`encode_pair_keys` there is no min/max canonicalisation:
+    the two sides of a :class:`~repro.records.dataset.LinkedCorpus` are
+    disjoint id spaces, so ``(source_idx, target_idx)`` is already the
+    canonical orientation and the codec stays injective over
+    |S|, |T| < 2^32.
+    """
+    src = np.asarray(source).astype(np.uint64, copy=False)
+    tgt = np.asarray(target).astype(np.uint64, copy=False)
+    return (src << PAIR_SHIFT) | tgt
+
+
+def unique_bipartite_keys(
+    source: np.ndarray, target: np.ndarray
+) -> np.ndarray:
+    """Sorted distinct bipartite keys of the given cross pairs."""
+    if np.asarray(source).size == 0:
+        return np.empty(0, dtype=np.uint64)
+    return sorted_unique_keys(encode_bipartite_keys(source, target))
+
+
+def enumerate_csr_cross_pairs(
+    offsets: np.ndarray,
+    indices: np.ndarray,
+    source_mask: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """All cross-side index pairs of a CSR block layout.
+
+    ``source_mask[i]`` says whether local index ``i`` belongs to the
+    source side; the returned ``(source, target)`` arrays cover every
+    (source member × target member) pair inside each group and *never*
+    a within-side pair — the clean-clean candidate set Γ over |S|×|T|.
+
+    Like :func:`enumerate_csr_pairs` the expansion is one numpy
+    cartesian product per distinct ``(n_source, n_target)`` shape class,
+    with the group members partitioned sources-first by a stable sort so
+    gathered rows stay aligned.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    indices = np.asarray(indices)
+    source_mask = np.asarray(source_mask, dtype=bool)
+    num_groups = offsets.size - 1
+    if num_groups <= 0 or indices.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    sizes = np.diff(offsets)
+    group_of = np.repeat(np.arange(num_groups), sizes)
+    is_source = source_mask[indices]
+    # Stable partition: within each group, source members first. The
+    # secondary key is position, so dataset order survives inside each
+    # side (emission order is deterministic either way — the pair *set*
+    # is what callers consume).
+    order = np.lexsort((~is_source, group_of))
+    part_indices = indices[order]
+    n_src = np.bincount(group_of[is_source], minlength=num_groups)
+    n_tgt = sizes - n_src
+    shapes = n_src * (np.int64(indices.size) + 1) + n_tgt
+    sources: list[np.ndarray] = []
+    targets: list[np.ndarray] = []
+    for shape in np.unique(shapes).tolist():
+        members = np.flatnonzero(shapes == shape)
+        s = int(n_src[members[0]])
+        t = int(n_tgt[members[0]])
+        if s == 0 or t == 0:
+            continue
+        starts = offsets[members]
+        src_rows = part_indices[starts[:, None] + np.arange(s)]
+        tgt_rows = part_indices[starts[:, None] + s + np.arange(t)]
+        sources.append(
+            np.broadcast_to(src_rows[:, :, None], (members.size, s, t)).ravel()
+        )
+        targets.append(
+            np.broadcast_to(tgt_rows[:, None, :], (members.size, s, t)).ravel()
+        )
+    if not sources:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    return (
+        np.concatenate(sources).astype(np.int64, copy=False),
+        np.concatenate(targets).astype(np.int64, copy=False),
+    )
+
+
 def sorted_unique_keys(keys: np.ndarray) -> np.ndarray:
     """Sorted distinct copy of a key array via sort + run mask.
 

@@ -8,7 +8,12 @@ them, and the minhash pipeline shingles records into q-gram sets.
 from repro.text.normalize import normalize
 from repro.text.qgrams import qgram_multiset, qgram_set, qgrams
 from repro.text.jaccard import dice_similarity, jaccard_similarity, qgram_jaccard
-from repro.text.levenshtein import edit_distance, edit_similarity
+from repro.text.levenshtein import (
+    edit_distance,
+    edit_distances,
+    edit_similarities,
+    edit_similarity,
+)
 from repro.text.jaro import jaro_similarity, jaro_winkler_similarity
 from repro.text.lcs import longest_common_substring, lcs_similarity
 from repro.text.tfidf import TfidfVectorizer, cosine_similarity
@@ -24,6 +29,8 @@ __all__ = [
     "qgram_jaccard",
     "dice_similarity",
     "edit_distance",
+    "edit_distances",
+    "edit_similarities",
     "edit_similarity",
     "jaro_similarity",
     "jaro_winkler_similarity",

@@ -218,6 +218,25 @@ class TestStringMap:
         with pytest.raises(ConfigurationError):
             StringMapEmbedder("edit", dim=2).transform("x")
 
+    def test_transform_many_before_fit(self):
+        with pytest.raises(ConfigurationError):
+            StringMapEmbedder("edit", dim=2).transform_many(["x"])
+
+    @pytest.mark.parametrize("similarity", ("edit", "jaccard_q2"))
+    def test_transform_many_identical_to_legacy(self, similarity):
+        import numpy as np
+
+        strings = ["anna smith", "anna smyth", "bob", "bob", "",
+                   "carol white", "dave black", "zz 字 é"]
+        embedder = StringMapEmbedder(similarity, dim=6, seed=3).fit(strings)
+        batch = embedder.transform_many(strings)
+        legacy = np.stack([embedder.transform(s) for s in strings])
+        assert np.array_equal(batch, legacy)
+
+    def test_transform_many_empty(self):
+        embedder = StringMapEmbedder("edit", dim=5, seed=1).fit(["a", "b"])
+        assert embedder.transform_many([]).shape == (0, 5)
+
     def test_stmt_blocks_similar_names(self, name_dataset):
         result = StringMapThresholdBlocker(
             ATTRS, similarity="edit", loose=0.6, tight=0.9, dim=4, grid=10, seed=4

@@ -133,3 +133,87 @@ class TestEvaluateAndResolve:
         out = capsys.readouterr().out
         assert "matched pairs" in out
         assert "P=" in out
+
+
+@pytest.fixture()
+def linked_csvs(generated_csv, tmp_path):
+    """The generated voter corpus split into source (dupes) / target (clean)."""
+    from repro.records import Dataset, write_csv
+
+    dataset = read_csv(generated_csv)
+    source = Dataset(
+        [r for r in dataset if r.record_id.startswith("d")], name="dirty"
+    )
+    target = Dataset(
+        [r for r in dataset if r.record_id.startswith("v")], name="clean"
+    )
+    source_path = tmp_path / "source.csv"
+    target_path = tmp_path / "target.csv"
+    write_csv(source, source_path)
+    write_csv(target, target_path)
+    return source_path, target_path, len(source), len(target)
+
+
+class TestLink:
+    ARGS = ["--technique", "lsh", "--attributes", "first_name,last_name,city",
+            "--q", "2", "--k", "9", "--l", "15"]
+
+    def test_pairs_mode(self, linked_csvs, tmp_path, capsys):
+        source_path, target_path, num_src, num_tgt = linked_csvs
+        pairs_path = tmp_path / "pairs.csv"
+        assert main([
+            "link", "--source", str(source_path), "--target", str(target_path),
+            *self.ARGS, "--out", str(pairs_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cross-dataset candidate pairs" in out
+        assert "PC=" in out  # both sides carry entity ids -> quality line
+        pairs = read_pairs_csv(pairs_path)
+        assert pairs
+        for a, b in pairs:
+            assert a.startswith("d") and b.startswith("v")
+
+    def test_single_csv_with_dataset_column(self, generated_csv, tmp_path, capsys):
+        from repro.records import (
+            Dataset, LinkedCorpus, read_csv as _read, write_linked_csv,
+        )
+
+        dataset = _read(generated_csv)
+        linked = LinkedCorpus(
+            Dataset([r for r in dataset if r.record_id.startswith("d")],
+                    name="dirty"),
+            Dataset([r for r in dataset if r.record_id.startswith("v")],
+                    name="clean"),
+        )
+        both_path = tmp_path / "both.csv"
+        write_linked_csv(linked, both_path)
+        assert main([
+            "link", "--input", str(both_path), "--source-name", "dirty",
+            "--target-name", "clean", *self.ARGS,
+        ]) == 0
+        assert "cross-dataset candidate pairs" in capsys.readouterr().out
+
+    def test_resolve_mode(self, linked_csvs, tmp_path, capsys):
+        source_path, target_path, num_src, _ = linked_csvs
+        out_path = tmp_path / "resolved.csv"
+        assert main([
+            "link", "--source", str(source_path), "--target", str(target_path),
+            *self.ARGS, "--similarity", "jaro_winkler", "--resolve",
+            "--out", str(out_path),
+        ]) == 0
+        assert "linked" in capsys.readouterr().out
+        rows = out_path.read_text().strip().splitlines()
+        assert len(rows) == num_src + 1  # header + one row per source record
+
+    def test_input_and_sides_conflict(self, linked_csvs, tmp_path, capsys):
+        source_path, target_path, _, _ = linked_csvs
+        assert main([
+            "link", "--input", str(source_path), "--source", str(source_path),
+            "--target", str(target_path), *self.ARGS,
+        ]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_missing_sides_fail_cleanly(self, linked_csvs, capsys):
+        source_path, _, _, _ = linked_csvs
+        assert main(["link", "--source", str(source_path), *self.ARGS]) == 2
+        assert "needs --input or both" in capsys.readouterr().err

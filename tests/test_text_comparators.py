@@ -8,6 +8,8 @@ from repro.text import (
     available_similarities,
     cosine_similarity,
     edit_distance,
+    edit_distances,
+    edit_similarities,
     edit_similarity,
     get_similarity,
     jaro_similarity,
@@ -41,6 +43,60 @@ class TestEditDistance:
 
     def test_similarity_partial(self):
         assert edit_similarity("abcd", "abcx") == pytest.approx(0.75)
+
+
+class TestEditDistanceBatch:
+    """The vectorized banded-DP kernel vs the per-pair reference."""
+
+    def _random_pairs(self, count=250):
+        import random
+
+        rng = random.Random(99)
+        alphabet = "abcdef é字X"
+        pairs = [
+            (
+                "".join(rng.choice(alphabet) for _ in range(rng.randrange(0, 11))),
+                "".join(rng.choice(alphabet) for _ in range(rng.randrange(0, 11))),
+            )
+            for _ in range(count)
+        ]
+        pairs += [("kitten", "sitting"), ("", ""), ("", "abc"), ("abc", "")]
+        return pairs
+
+    def test_matches_per_pair_reference(self):
+        pairs = self._random_pairs()
+        lefts = [a for a, _ in pairs]
+        rights = [b for _, b in pairs]
+        batch = edit_distances(lefts, rights)
+        assert batch.tolist() == [edit_distance(a, b) for a, b in pairs]
+
+    def test_banded_exact_within_band(self):
+        pairs = self._random_pairs()
+        lefts = [a for a, _ in pairs]
+        rights = [b for _, b in pairs]
+        exact = edit_distances(lefts, rights)
+        for band in (0, 1, 2, 4):
+            banded = edit_distances(lefts, rights, band=band)
+            for true, got in zip(exact.tolist(), banded.tolist()):
+                if true <= band:
+                    assert got == true
+                else:
+                    assert got > band
+
+    def test_similarities_bitwise_match(self):
+        pairs = self._random_pairs()
+        lefts = [a for a, _ in pairs]
+        rights = [b for _, b in pairs]
+        batch = edit_similarities(lefts, rights)
+        assert batch.tolist() == [edit_similarity(a, b) for a, b in pairs]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            edit_distances(["a"], ["b", "c"])
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValueError):
+            edit_distances(["a"], ["b"], band=-1)
 
 
 class TestJaro:
